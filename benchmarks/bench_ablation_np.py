@@ -1,0 +1,42 @@
+"""Ablation — N_p, the partial-synchronisation width (paper Sec. IV-B).
+
+"By allowing more GPUs to participate in partial synchronization, the
+training effect can be better, which is because the waste of efforts on
+unselected devices is less."
+
+Expected shape: accuracy at matched epochs improves (or holds) as N_p
+grows from 1 to K; sync cost per round grows with the ring size.
+"""
+
+from benchmarks.conftest import bench_config, write_artifact
+from repro.experiments import HETEROGENEITY_4221, ablate_num_selected
+from repro.metrics.report import render_table
+
+
+def _run():
+    config = bench_config(model="resnet_mini", power_ratio=HETEROGENEITY_4221)
+    return ablate_num_selected(config, values=(1, 2, 3, 4))
+
+
+def test_ablation_num_selected(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for num_selected, result in sorted(results.items()):
+        rows.append(
+            [
+                str(num_selected),
+                f"{result.best_accuracy() * 100:.1f}%",
+                f"{result.total_time:.1f} s",
+                f"{result.total_comm_bytes:,}",
+            ]
+        )
+    table = render_table(
+        ["N_p", "max accuracy", "total time", "comm bytes"], rows
+    )
+    print("\n" + table)
+    write_artifact("ablation_np.txt", table + "\n")
+
+    # Full participation beats minimal participation on accuracy.
+    assert results[4].best_accuracy() >= results[1].best_accuracy() - 0.02
+    # Wider rings move more bytes per round.
+    assert results[4].total_comm_bytes > results[1].total_comm_bytes * 0.8

@@ -1,0 +1,70 @@
+"""Ablation — version-predictor smoothing factor α (paper Sec. III-B).
+
+Measures Eq. 7's one-step forecast error on drifting device speeds for a
+sweep of α under two drift regimes, and end-to-end HADFL accuracy with
+adaptation on vs off under per-step jitter.
+
+Expected shape: under *smooth* drift with measurement noise, small α wins
+(Brown's trend term tracks a linear ramp at any α, so extra α only
+amplifies noise); after an *abrupt* speed change, large α re-converges
+fastest ("the larger α, the closer the predicted value to v_i") — the
+trade-off behind the default α = 0.5.
+"""
+
+from benchmarks.conftest import bench_config, write_artifact
+from repro.experiments import HETEROGENEITY_3311, ablate_predictor_alpha, run_scheme
+from repro.metrics.report import render_table
+
+ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def _forecast_errors():
+    linear = ablate_predictor_alpha(
+        alphas=ALPHAS, drift_per_round=0.03, jitter=0.05, mode="linear"
+    )
+    step = ablate_predictor_alpha(
+        alphas=ALPHAS, drift_per_round=0.0, jitter=0.05, mode="step"
+    )
+    return linear, step
+
+
+def test_predictor_alpha_forecast_error(benchmark):
+    linear, step = benchmark.pedantic(_forecast_errors, rounds=1, iterations=1)
+    rows = [
+        [f"{alpha:.1f}", f"{linear[alpha]:.3f} steps", f"{step[alpha]:.3f} steps"]
+        for alpha in ALPHAS
+    ]
+    table = render_table(
+        ["alpha", "smooth drift error", "abrupt change error"], rows
+    )
+    print("\n" + table)
+    write_artifact("ablation_predictor_alpha.txt", table + "\n")
+
+    # Smooth drift + noise: heavy smoothing (low alpha) filters best.
+    assert linear[0.1] < linear[0.9]
+    # Abrupt speed change: responsive (high alpha) recovers fastest.
+    assert step[0.7] < step[0.1]
+
+
+def test_adaptation_under_jitter(benchmark):
+    def _run():
+        config = bench_config(
+            model="mlp",
+            power_ratio=HETEROGENEITY_3311,
+            jitter=0.15,
+            target_epochs=min(10.0, bench_config().target_epochs),
+        )
+        on = run_scheme("hadfl", config.with_overrides(adapt_local_steps=True))
+        off = run_scheme("hadfl", config.with_overrides(adapt_local_steps=False))
+        return on, off
+
+    on, off = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = (
+        f"adaptive   : best {on.best_accuracy():.4f} in {on.total_time:.1f}s\n"
+        f"static     : best {off.best_accuracy():.4f} in {off.total_time:.1f}s\n"
+    )
+    print("\n" + text)
+    write_artifact("ablation_adaptation.txt", text)
+    # Both must converge; adaptation must not hurt materially.
+    assert on.best_accuracy() > 0.6
+    assert on.best_accuracy() >= off.best_accuracy() - 0.08

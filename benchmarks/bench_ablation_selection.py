@@ -1,0 +1,40 @@
+"""Ablation — selection policy (paper Sec. III-C design argument).
+
+Compares Eq. 8's Gaussian-at-Q3 law against uniform, latest-only and
+forced-worst selection under [4,2,2,1].
+
+Expected shape: gaussian/uniform/latest are close; forced-worst converges
+clearly lower (it is the paper's upper-bound case) — demonstrating that
+the probabilistic law keeps straggler noise without paying its price.
+"""
+
+from benchmarks.conftest import bench_config, write_artifact
+from repro.experiments import HETEROGENEITY_4221, ablate_selection_policy
+from repro.metrics.convergence import time_to_max_accuracy
+from repro.metrics.report import render_table
+
+
+def _run():
+    config = bench_config(model="resnet_mini", power_ratio=HETEROGENEITY_4221)
+    return ablate_selection_policy(config)
+
+
+def test_ablation_selection_policy(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for policy, result in results.items():
+        best, t_best = time_to_max_accuracy(result)
+        rows.append([policy, f"{best * 100:.1f}%", f"{t_best:.1f} s"])
+    table = render_table(["selection policy", "max accuracy", "time to max"], rows)
+    print("\n" + table)
+    write_artifact("ablation_selection.txt", table + "\n")
+
+    assert (
+        results["worst"].best_accuracy()
+        < results["gaussian_quartile"].best_accuracy()
+    )
+    # The paper's law is competitive with blind uniform selection.
+    assert (
+        results["gaussian_quartile"].best_accuracy()
+        >= results["uniform"].best_accuracy() - 0.05
+    )

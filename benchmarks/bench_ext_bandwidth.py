@@ -1,0 +1,74 @@
+"""Extension — heterogeneous network bandwidth (paper's future work).
+
+The paper's conclusion: "we will ... optimize it by taking into account
+heterogeneous network bandwidth".  One device gets a 20× slower uplink;
+a gossip ring that includes it advances at its pace.  We compare the
+stock version-law selection with :class:`BandwidthAwareSelection`.
+
+Expected shape: bandwidth-aware selection picks the throttled device less
+often and spends no more total time, at a small accuracy cost — the same
+exclusion trade-off the paper's Sec. III-C warns about, now along the
+bandwidth axis.  (An earlier aggressive tilt, gamma=2 on a *fast-compute*
+device, cost 7 accuracy points for 0.6 s — the moderate default below
+keeps the device in rotation.)
+"""
+
+from benchmarks.conftest import bench_config, write_artifact
+from repro.core import BandwidthAwareSelection, HADFLTrainer
+from repro.experiments import HETEROGENEITY_3311
+from repro.metrics.convergence import time_to_max_accuracy
+from repro.metrics.report import render_table
+
+THROTTLED_DEVICE = 3  # the weak edge device also has the slowest link
+
+
+def _run():
+    config = bench_config(
+        model="resnet_mini",
+        power_ratio=HETEROGENEITY_3311,
+        device_bandwidth={THROTTLED_DEVICE: 5e4},  # vs 2e6 default
+        target_epochs=min(10.0, bench_config().target_epochs),
+    )
+    stock_cluster = config.make_cluster()
+    stock = HADFLTrainer(
+        stock_cluster, params=config.hadfl_params(), seed=1
+    ).run(target_epochs=config.target_epochs)
+
+    aware_cluster = config.make_cluster()
+    policy = BandwidthAwareSelection(aware_cluster.network, gamma=1.5)
+    aware = HADFLTrainer(
+        aware_cluster, params=config.hadfl_params(), selection=policy, seed=1
+    ).run(target_epochs=config.target_epochs)
+    return stock, aware
+
+
+def test_bandwidth_aware_selection(benchmark):
+    stock, aware = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    def picks_per_round(result):
+        return sum(r.selected.count(THROTTLED_DEVICE) for r in result.rounds) / len(
+            result.rounds
+        )
+
+    rows = []
+    for name, result in (("version-law", stock), ("bandwidth-aware", aware)):
+        best, t_best = time_to_max_accuracy(result)
+        rows.append(
+            [
+                name,
+                f"{best * 100:.1f}%",
+                f"{t_best:.1f} s",
+                f"{picks_per_round(result):.2f}",
+                f"{result.total_time:.1f} s",
+            ]
+        )
+    table = render_table(
+        ["policy", "max acc", "time to max", "slow-link picks/round", "total time"],
+        rows,
+    )
+    print("\n" + table)
+    write_artifact("ext_bandwidth.txt", table + "\n")
+
+    assert picks_per_round(aware) <= picks_per_round(stock)
+    assert aware.total_time <= stock.total_time * 1.05
+    assert aware.best_accuracy() >= stock.best_accuracy() - 0.08

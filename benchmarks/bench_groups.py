@@ -1,0 +1,68 @@
+"""Extension — hierarchical grouping at larger device counts (Fig. 2a).
+
+The paper sketches multi-group HADFL for "too many devices"; this bench
+runs 8 devices flat vs grouped (2 groups of 4) and sweeps the
+inter-group period.
+
+Expected shape: grouping trades a little accuracy-per-epoch (group models
+drift between merges) for smaller rings; longer inter-group periods move
+fewer bytes.
+"""
+
+from benchmarks.conftest import bench_config, write_artifact
+from repro.core import GroupedHADFLTrainer, HADFLTrainer
+from repro.metrics.report import render_table
+
+RATIO_8 = (3, 3, 1, 1, 4, 2, 2, 1)
+
+
+def _run():
+    config = bench_config(
+        model="mlp",
+        power_ratio=RATIO_8,
+        num_selected=2,
+        target_epochs=min(10.0, bench_config().target_epochs),
+    )
+    flat = HADFLTrainer(
+        config.make_cluster(), params=config.hadfl_params(), seed=1
+    ).run(target_epochs=config.target_epochs)
+    grouped = {}
+    for period in (1, 2, 4):
+        trainer = GroupedHADFLTrainer(
+            config.make_cluster(),
+            params=config.hadfl_params(),
+            groups=2,
+            inter_group_period=period,
+            seed=1,
+        )
+        grouped[period] = trainer.run(target_epochs=config.target_epochs)
+    return flat, grouped
+
+
+def test_hierarchical_groups(benchmark):
+    flat, grouped = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [
+            "flat (8 devices)",
+            f"{flat.best_accuracy() * 100:.1f}%",
+            f"{flat.total_time:.1f} s",
+            f"{flat.total_comm_bytes:,}",
+        ]
+    ]
+    for period, result in sorted(grouped.items()):
+        rows.append(
+            [
+                f"2 groups, merge every {period}",
+                f"{result.best_accuracy() * 100:.1f}%",
+                f"{result.total_time:.1f} s",
+                f"{result.total_comm_bytes:,}",
+            ]
+        )
+    table = render_table(["configuration", "max acc", "total time", "comm bytes"], rows)
+    print("\n" + table)
+    write_artifact("groups.txt", table + "\n")
+
+    for result in grouped.values():
+        assert result.best_accuracy() > 0.5
+    # Rarer merges move fewer inter-group bytes.
+    assert grouped[4].total_comm_bytes <= grouped[1].total_comm_bytes

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fault tolerance: devices disconnecting mid-training (paper Sec. III-D).
+
+Reproduces the paper's Fig. 2(b) scenario at system level: devices drop
+out during training; downstream ring members time out, handshake the dead
+device, warn its upstream, and bypass it.  The run completes with no
+central intervention, while the synchronous baselines would stall.
+
+Usage::
+
+    python examples/fault_tolerance_demo.py
+"""
+
+from repro.core import HADFLTrainer
+from repro.experiments import ExperimentConfig
+from repro.sim import FailureInjector, TraceRecorder
+
+
+def main():
+    config = ExperimentConfig(
+        model="mlp",
+        power_ratio=(3, 3, 2, 1, 1),
+        num_train=600,
+        num_test=300,
+        num_selected=3,           # 3-member rings so bypass is observable
+        target_epochs=12.0,
+        seed=5,
+    )
+
+    injector = FailureInjector()
+    injector.fail(2, down_at=6.0, up_at=14.0)    # flaky link, recovers
+    injector.fail(4, down_at=10.0)               # gone for good
+    print("Failure schedule:")
+    for device_id in (2, 4):
+        for window in injector.windows_for(device_id):
+            up = "∞" if window.up_at == float("inf") else f"{window.up_at:.0f}s"
+            print(f"  device {device_id}: down {window.down_at:.0f}s → {up}")
+
+    cluster = config.make_cluster(failure_injector=injector)
+    trace = TraceRecorder()
+    trainer = HADFLTrainer(
+        cluster, params=config.hadfl_params(), seed=5, trace=trace
+    )
+    result = trainer.run(target_epochs=config.target_epochs)
+
+    print("\nRun completed despite failures:")
+    print(result.summary())
+
+    bypass_events = trace.events("bypass_established")
+    handshakes = trace.events("handshake_no_reply")
+    print(f"\nProtocol activity: {len(handshakes)} handshake timeouts, "
+          f"{len(bypass_events)} bypasses established")
+    for event in handshakes[:5]:
+        print(f"  {event}")
+
+    total_bypasses = sum(r.bypasses for r in result.rounds)
+    skipped = [r.round_index for r in result.rounds if r.detail.get("skipped")]
+    print(f"\nTotal ring repairs over the run: {total_bypasses}")
+    if skipped:
+        print(f"Rounds skipped with no devices alive: {skipped}")
+    print(
+        "\nContrast: the synchronous baselines stall on any disconnect "
+        "(see repro.baselines.base.SchemeTrainer.wait_for_all_alive) — a "
+        "permanent failure deadlocks them."
+    )
+
+
+if __name__ == "__main__":
+    main()

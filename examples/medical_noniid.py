@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Federated hospitals: non-IID data across heterogeneous sites.
+
+The paper's introduction motivates FL with medical imaging: hospitals
+cannot pool privacy-sensitive images, and their hardware differs wildly.
+This example models six "hospitals" whose local datasets are label-skewed
+(Dirichlet split — each site sees mostly its own case mix) and whose
+compute spans a 6:1 range, then shows HADFL training a shared model
+without any site's raw data leaving the premises.
+
+Usage::
+
+    python examples/medical_noniid.py
+"""
+
+import numpy as np
+
+from repro.core import HADFLParams, HADFLTrainer
+from repro.experiments import ExperimentConfig
+from repro.metrics import ascii_plot, series_from_results
+
+
+def main():
+    config = ExperimentConfig(
+        model="simple_cnn",
+        image_size=8,
+        power_ratio=(6, 4, 3, 2, 1, 1),   # big research hospital ... rural clinic
+        partition="dirichlet",
+        dirichlet_alpha=0.5,              # each site skewed to its case mix
+        num_train=900,
+        num_test=450,
+        batch_size=16,
+        num_selected=3,
+        target_epochs=15.0,
+        seed=11,
+    )
+    print("Six hospitals, compute ratio", list(config.power_ratio))
+    cluster = config.make_cluster()
+
+    print("\nPer-site label distribution (classes x sites):")
+    labels = cluster.train_set.labels
+    for device in cluster.devices:
+        shard_labels = device.cycler.dataset.labels
+        counts = np.bincount(shard_labels, minlength=10)
+        top = np.argsort(counts)[::-1][:3]
+        print(
+            f"  site {device.device_id}: {len(shard_labels):4d} images, "
+            f"dominant classes {list(top)}"
+        )
+
+    trainer = HADFLTrainer(cluster, params=config.hadfl_params(), seed=11)
+    result = trainer.run(target_epochs=config.target_epochs)
+
+    print("\nHADFL on non-IID hospital data:")
+    print(result.summary())
+    print(
+        ascii_plot(
+            series_from_results({"hadfl (non-IID)": result}, "epoch", "accuracy"),
+            title="shared-model accuracy vs epoch",
+            xlabel="global epoch",
+            height=12,
+        )
+    )
+    print(
+        "\nNote: no raw images crossed site boundaries — only model"
+        f" parameters ({cluster.model_nbytes:,} bytes per transfer)."
+    )
+
+
+if __name__ == "__main__":
+    main()

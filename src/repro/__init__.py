@@ -1,0 +1,45 @@
+"""HADFL reproduction: heterogeneity-aware decentralized federated learning.
+
+Full reproduction of *HADFL: Heterogeneity-aware Decentralized Federated
+Learning Framework* (Cao et al., DAC 2021) on a pure-NumPy substrate.
+
+Layer map (bottom → top):
+
+* :mod:`repro.autograd` / :mod:`repro.nn` / :mod:`repro.optim` — the
+  deep-learning substrate replacing PyTorch.
+* :mod:`repro.data` — synthetic CIFAR-10 stand-in and federated
+  partitioners.
+* :mod:`repro.sim` — discrete-event simulated heterogeneous cluster
+  (virtual clock replaces the paper's ``sleep()``-throttled V100s).
+* :mod:`repro.comm` — ring all-reduce, gossip, topologies, fault-tolerant
+  ring repair.
+* :mod:`repro.core` — the HADFL framework itself (Alg. 1, Eqs. 5–8,
+  coordinator, trainer, hierarchical groups).
+* :mod:`repro.baselines` — distributed training (DDP-style) and
+  decentralized FedAvg.
+* :mod:`repro.metrics` / :mod:`repro.experiments` — recording, reporting
+  and the per-table/per-figure experiment harness.
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, run_scheme
+
+    config = ExperimentConfig(model="mlp", power_ratio=(4, 2, 2, 1))
+    result = run_scheme("hadfl", config)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "data",
+    "sim",
+    "comm",
+    "core",
+    "baselines",
+    "metrics",
+    "experiments",
+]

@@ -1,0 +1,289 @@
+"""Structured autograd ops: convolution, pooling, padding, fused losses.
+
+These operations are implemented directly (forward + hand-derived backward)
+rather than composed from arithmetic primitives, both for speed (im2col
+convolution) and numerical stability (fused log-softmax cross-entropy).
+All follow the NCHW layout convention used by the model zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+# --------------------------------------------------------------------- #
+# im2col / col2im machinery (CS231n-style index arithmetic)
+# --------------------------------------------------------------------- #
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size would be {out} "
+            f"(input {size}, kernel {kernel}, stride {stride}, padding {padding})"
+        )
+    return out
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
+):
+    _, channels, height, width = x_shape
+    out_h = _conv_output_size(height, kh, stride, padding)
+    out_w = _conv_output_size(width, kw, stride, padding)
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return (k, i, j), out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Unfold ``x`` (N,C,H,W) into columns of shape (C*kh*kw, out_h*out_w*N)."""
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+    (k, i, j), _, _ = _im2col_indices(
+        (x.shape[0], x.shape[1], x.shape[2] - 2 * padding, x.shape[3] - 2 * padding)
+        if padding
+        else x.shape,
+        kh,
+        kw,
+        stride,
+        padding,
+    )
+    cols = x[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    return cols.transpose(1, 2, 0).reshape(kh * kw * x.shape[1], -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` — scatter-add columns back to (N,C,H,W)."""
+    n, channels, height, width = x_shape
+    padded_h, padded_w = height + 2 * padding, width + 2 * padding
+    x_padded = np.zeros((n, channels, padded_h, padded_w), dtype=cols.dtype)
+    (k, i, j), out_h, out_w = _im2col_indices(x_shape, kh, kw, stride, padding)
+    cols_reshaped = cols.reshape(channels * kh * kw, out_h * out_w, n).transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_padded
+    return x_padded[:, :, padding:-padding, padding:-padding]
+
+
+# --------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------- #
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D cross-correlation (the deep-learning "convolution").
+
+    Shapes: ``x`` (N, C_in, H, W), ``weight`` (C_out, C_in, kh, kw),
+    ``bias`` (C_out,).  Output: (N, C_out, H_out, W_out).
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in} vs weight {c_in_w}")
+
+    cols = im2col(x.data, kh, kw, stride, padding)  # (C_in*kh*kw, L*N)
+    w_rows = weight.data.reshape(c_out, -1)  # (C_out, C_in*kh*kw)
+    out = w_rows @ cols  # (C_out, L*N)
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+    out = out.reshape(c_out, out_h, out_w, n).transpose(3, 0, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_mat = np.asarray(g).transpose(1, 2, 3, 0).reshape(c_out, -1)
+        if bias is not None:
+            bias._accumulate(g_mat.sum(axis=1))
+        weight._accumulate((g_mat @ cols.T).reshape(weight.shape))
+        grad_cols = w_rows.T @ g_mat
+        x._accumulate(col2im(grad_cols, x.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+# --------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------- #
+def _check_pool_shape(h: int, w: int, kernel: int) -> None:
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"pooling requires spatial dims divisible by kernel={kernel}, got ({h},{w})"
+        )
+
+
+def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping max pooling (stride == kernel).
+
+    The model zoo uses 2x2/stride-2 pooling exclusively (as ResNet/VGG do),
+    so only the non-overlapping case is implemented; it admits a fast
+    reshape-based kernel.
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    _check_pool_shape(h, w, kernel)
+    oh, ow = h // kernel, w // kernel
+    reshaped = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out = reshaped.max(axis=(3, 5))
+    # Route gradients to exactly one (the first) max per window, matching
+    # the deterministic tie-breaking of cuDNN/PyTorch pooling.
+    windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, kernel * kernel)
+    first = np.zeros_like(windows)
+    idx = windows.argmax(axis=-1)
+    np.put_along_axis(first, idx[..., None], 1.0, axis=-1)
+    first = first.reshape(n, c, oh, ow, kernel, kernel).transpose(0, 1, 2, 4, 3, 5)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)[:, :, :, None, :, None]
+        x._accumulate((first * g).reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping average pooling (stride == kernel)."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    _check_pool_shape(h, w, kernel)
+    reshaped = x.data.reshape(n, c, h // kernel, kernel, w // kernel, kernel)
+    out = reshaped.mean(axis=(3, 5))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)[:, :, :, None, :, None] * scale
+        grad = np.broadcast_to(g, (n, c, h // kernel, kernel, w // kernel, kernel))
+        x._accumulate(grad.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions: (N,C,H,W) -> (N,C)."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    out = x.data.mean(axis=(2, 3))
+    scale = 1.0 / (h * w)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)[:, :, None, None] * scale
+        x._accumulate(np.broadcast_to(g, x.shape).copy())
+
+    return Tensor._make(out, (x,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Padding / concatenation
+# --------------------------------------------------------------------- #
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial dimensions symmetrically."""
+    x = as_tensor(x)
+    if padding == 0:
+        return x
+    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    out = np.pad(x.data, pad_width, mode="constant")
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        x._accumulate(g[:, :, padding:-padding, padding:-padding])
+
+    return Tensor._make(out, (x,), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis with gradient support."""
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            tensor._accumulate(g[tuple(index)])
+
+    return Tensor._make(out, tuple(tensors), backward)
+
+
+# --------------------------------------------------------------------- #
+# Softmax family (numerically stable, fused)
+# --------------------------------------------------------------------- #
+def _log_softmax_data(logits: np.ndarray, axis: int) -> np.ndarray:
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    out = _log_softmax_data(x.data, axis)
+    softmax_data = np.exp(out)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        x._accumulate(g - softmax_data * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    out = np.exp(_log_softmax_data(x.data, axis))
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        inner = (g * out).sum(axis=axis, keepdims=True)
+        x._accumulate(out * (g - inner))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    Fused implementation: the backward pass is the classic
+    ``(softmax - one_hot) / N``, avoiding the catastrophic cancellation a
+    composed log→mul→sum graph would suffer for confident predictions.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets)
+    if targets.dtype.kind == "f":
+        targets = targets.astype(np.int64)
+    n = logits.shape[0]
+    log_probs = _log_softmax_data(logits.data, axis=1)
+    nll = -log_probs[np.arange(n), targets].mean()
+    probs = np.exp(log_probs)
+
+    def backward(g: np.ndarray) -> None:
+        scale = float(np.asarray(g))
+        grad = probs.copy()
+        grad[np.arange(n), targets] -= 1.0
+        logits._accumulate(grad * (scale / n))
+
+    return Tensor._make(np.asarray(nll), (logits,), backward)

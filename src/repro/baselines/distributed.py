@@ -1,0 +1,61 @@
+"""Synchronous data-parallel training (the PyTorch-DDP baseline).
+
+Every iteration, all K devices take one SGD step on their shard and the
+replicas are averaged with a ring all-reduce — equivalent (for plain SGD)
+to gradient averaging, which is what DDP/Horovod do.  The slowest device
+gates every iteration: iteration time is ``max_k(step_time_k)`` plus the
+collective, the straggler effect the paper's Fig. 1 illustrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import SchemeTrainer
+from repro.comm.allreduce import ring_allreduce_detailed
+from repro.metrics.records import RoundRecord
+
+
+class DistributedTrainer(SchemeTrainer):
+    """Ring-all-reduce synchronous data parallelism [12].
+
+    A "round" in the result records is one global epoch (every device
+    completing one pass over its shard), matching the per-epoch curves of
+    Fig. 3.
+    """
+
+    scheme_name = "distributed"
+
+    def _run_round(self, round_index: int) -> RoundRecord:
+        cluster = self.cluster
+        devices = cluster.devices
+        iterations = max(d.cycler.batches_per_epoch for d in devices)
+        allreduce_time = cluster.network.ring_time_for(
+            [d.device_id for d in devices], cluster.model_nbytes
+        )
+        losses = []
+        round_bytes = 0
+        for _ in range(iterations):
+            t_iter = self.sim.now
+            slowest = 0.0
+            for device in devices:
+                burst = device.train_steps(1, start_time=t_iter)
+                slowest = max(slowest, burst.elapsed)
+                losses.append(burst.mean_loss)
+            vectors = [d.get_params() for d in devices]
+            averaged, stats = ring_allreduce_detailed(vectors)
+            for device in devices:
+                device.set_params(averaged)
+            self._global_params = averaged
+            self.volume.record(t_iter, stats.total_bytes, "ring_allreduce")
+            round_bytes += stats.total_bytes
+            self.sim.advance_to(t_iter + slowest + allreduce_time)
+
+        return RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=cluster.global_epoch(),
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            versions={d.device_id: d.version for d in devices},
+            comm_bytes=round_bytes,
+        )

@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Versions, available models/schemes/selection policies.
+``run``
+    Train one scheme on a configurable cluster; print the summary and
+    optionally save the result JSON.
+``compare``
+    Run all three schemes on identical clusters; print a Table I-style
+    comparison and an accuracy-vs-time plot.
+``table1``
+    Regenerate the paper's Table I at the chosen scale.
+
+Examples::
+
+    python -m repro run --scheme hadfl --model resnet_mini --ratio 4,2,2,1
+    python -m repro compare --model mlp --epochs 20 --out /tmp/runs
+    python -m repro table1 --epochs 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import io
+from repro.experiments import (
+    ExperimentConfig,
+    format_table1,
+    run_all_schemes,
+    run_scheme,
+    run_table1,
+)
+from repro.experiments.runner import SCHEMES
+from repro.metrics import ascii_plot, comparison_table, series_from_results
+from repro.nn.models import available_models
+
+
+def _parse_ratio(text: str) -> tuple:
+    try:
+        ratio = tuple(float(part) for part in text.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"ratio must be comma-separated numbers, got {text!r}"
+        ) from exc
+    if not ratio or any(p <= 0 for p in ratio):
+        raise argparse.ArgumentTypeError(f"powers must be positive: {text!r}")
+    return ratio
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="mlp", help="model zoo name")
+    parser.add_argument(
+        "--ratio",
+        type=_parse_ratio,
+        default=(3, 3, 1, 1),
+        help="computing-power ratio, e.g. 4,2,2,1",
+    )
+    parser.add_argument("--epochs", type=float, default=16.0, help="target global epochs")
+    parser.add_argument("--train", type=int, default=800, help="training samples")
+    parser.add_argument("--test", type=int, default=400, help="test samples")
+    parser.add_argument("--image-size", type=int, default=8, help="image side (px)")
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--np", dest="num_selected", type=int, default=2,
+                        help="devices per partial sync (N_p)")
+    parser.add_argument("--selection", default="gaussian_quartile",
+                        choices=("gaussian_quartile", "uniform", "latest", "worst"))
+    parser.add_argument("--partition", default="iid", choices=("iid", "dirichlet"))
+    parser.add_argument("--dirichlet-alpha", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None, help="directory to save result JSON")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        model=args.model,
+        power_ratio=args.ratio,
+        num_train=args.train,
+        num_test=args.test,
+        image_size=args.image_size,
+        batch_size=args.batch_size,
+        num_selected=args.num_selected,
+        selection=args.selection,
+        partition=args.partition,
+        dirichlet_alpha=args.dirichlet_alpha,
+        target_epochs=args.epochs,
+        seed=args.seed,
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — HADFL reproduction (DAC 2021)")
+    print(f"models    : {', '.join(available_models())}")
+    print(f"schemes   : {', '.join(SCHEMES)}")
+    print("selection : gaussian_quartile, uniform, latest, worst")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(f"scheme={args.scheme} | {config.describe()}")
+    result = run_scheme(args.scheme, config)
+    print(result.summary())
+    if args.out:
+        path = io.save_result(result, f"{args.out}/{args.scheme}.json")
+        print(f"saved: {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(config.describe())
+    results = run_all_schemes(config)
+    print()
+    print(comparison_table(results))
+    print()
+    print(
+        ascii_plot(
+            series_from_results(results, x_axis="time", y_axis="accuracy"),
+            title="test accuracy vs virtual time",
+            xlabel="virtual seconds",
+        )
+    )
+    if args.out:
+        directory = io.save_results(results, args.out)
+        print(f"saved: {directory}/")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    cells = run_table1(config, repeats=args.repeats)
+    print(format_table1(cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HADFL (DAC 2021) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="show versions and registries")
+    info.set_defaults(handler=_cmd_info)
+
+    run = subparsers.add_parser("run", help="train one scheme")
+    run.add_argument("--scheme", default="hadfl", choices=SCHEMES)
+    _add_config_arguments(run)
+    run.set_defaults(handler=_cmd_run)
+
+    compare = subparsers.add_parser("compare", help="run all three schemes")
+    _add_config_arguments(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    table1 = subparsers.add_parser("table1", help="regenerate the paper's Table I")
+    table1.add_argument("--repeats", type=int, default=1)
+    _add_config_arguments(table1)
+    table1.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

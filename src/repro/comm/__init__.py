@@ -1,0 +1,52 @@
+"""Communication substrate: flat parameters, collectives, topologies.
+
+Everything the three training schemes exchange goes through this package:
+
+* :mod:`~repro.comm.params` — model state ⇄ flat vector codec (what gets
+  "sent" over the simulated network; its byte size prices every transfer).
+* :mod:`~repro.comm.allreduce` — ring all-reduce (reduce-scatter +
+  all-gather), the collective behind the distributed-training baseline.
+* :mod:`~repro.comm.gossip` — gossip scatter-gather averaging over a
+  directed ring, HADFL's partial-synchronisation primitive.
+* :mod:`~repro.comm.topology` — ring/complete/random topology builders.
+* :mod:`~repro.comm.ring_repair` — the fault-tolerant synchronisation
+  protocol of Sec. III-D (timeout → handshake → warn upstream → bypass).
+* :mod:`~repro.comm.volume` — communication-volume accounting and the
+  paper's analytic formulas (2·K·M device volume etc.).
+"""
+
+from repro.comm.params import (
+    FlatParamCodec,
+    get_flat_params,
+    model_nbytes,
+    set_flat_params,
+)
+from repro.comm.allreduce import ring_allreduce, ring_allreduce_detailed
+from repro.comm.gossip import gossip_average
+from repro.comm.topology import (
+    Topology,
+    complete_topology,
+    directed_ring,
+    random_regular_topology,
+)
+from repro.comm.ring_repair import FaultTolerantRingSync, RingSyncResult
+from repro.comm.volume import CommVolumeAccountant, fedavg_server_volume, device_volume
+
+__all__ = [
+    "FlatParamCodec",
+    "get_flat_params",
+    "set_flat_params",
+    "model_nbytes",
+    "ring_allreduce",
+    "ring_allreduce_detailed",
+    "gossip_average",
+    "Topology",
+    "directed_ring",
+    "complete_topology",
+    "random_regular_topology",
+    "FaultTolerantRingSync",
+    "RingSyncResult",
+    "CommVolumeAccountant",
+    "fedavg_server_volume",
+    "device_volume",
+]

@@ -1,0 +1,92 @@
+"""Communication-volume accounting and the paper's analytic formulas.
+
+Section II-B derives the centralised-FL volumes: the server moves
+``2·M·K·epochs/E`` bytes over a training run while the device-side total
+is ``2·K·M`` per aggregation round; Sec. III-D claims HADFL keeps the
+device total at ``2·K·M`` while removing the server entirely.  The
+accountant counts actual simulated bytes so the benchmark can check those
+claims against the implementation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+def fedavg_server_volume(
+    model_nbytes: int, num_devices: int, num_epochs: int, local_steps: int
+) -> float:
+    """Server-side traffic of centralised FedAvg over a run (Sec. II-B).
+
+    ``2 × M × K × epoch_num / E`` — upload + download of the full model by
+    every device at every aggregation (one aggregation per E local steps,
+    measured in epochs here as the paper does).
+    """
+    if min(model_nbytes, num_devices, num_epochs, local_steps) <= 0:
+        raise ValueError("all arguments must be positive")
+    return 2.0 * model_nbytes * num_devices * num_epochs / local_steps
+
+
+def device_volume(model_nbytes: int, num_devices: int) -> float:
+    """Total device-side traffic per aggregation round: ``2·K·M``.
+
+    The same for FL and HADFL (Sec. III-D) — decentralisation removes the
+    server hotspot without increasing total volume.
+    """
+    if model_nbytes <= 0 or num_devices <= 0:
+        raise ValueError("arguments must be positive")
+    return 2.0 * num_devices * model_nbytes
+
+
+@dataclass(frozen=True)
+class VolumeRecord:
+    time: float
+    src: Optional[int]
+    dst: Optional[int]
+    nbytes: int
+    kind: str
+
+
+class CommVolumeAccountant:
+    """Counts every simulated byte by sender and traffic kind."""
+
+    def __init__(self):
+        self._records: list[VolumeRecord] = []
+        self._by_kind: Dict[str, int] = defaultdict(int)
+        self._by_device: Dict[int, int] = defaultdict(int)
+
+    def record(
+        self,
+        time: float,
+        nbytes: int,
+        kind: str,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        self._records.append(VolumeRecord(time, src, dst, int(nbytes), kind))
+        self._by_kind[kind] += int(nbytes)
+        if src is not None:
+            self._by_device[src] += int(nbytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._by_kind.values())
+
+    def bytes_by_kind(self) -> Dict[str, int]:
+        return dict(self._by_kind)
+
+    def bytes_by_device(self) -> Dict[int, int]:
+        return dict(self._by_device)
+
+    def records(self) -> Tuple[VolumeRecord, ...]:
+        return tuple(self._records)
+
+    def summary(self) -> str:
+        lines = [f"total: {self.total_bytes:,} bytes"]
+        for kind, nbytes in sorted(self._by_kind.items()):
+            lines.append(f"  {kind:<20} {nbytes:,} bytes")
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""HADFL algorithm hyper-parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HADFLParams:
+    """Knobs of the HADFL framework (defaults follow the paper).
+
+    Parameters
+    ----------
+    tsync:
+        Aggregation period in hyperperiods — "partial aggregation takes
+        place every T_sync multiples of HE" (Sec. III-C).
+    num_selected:
+        N_p, devices performing partial synchronisation each round (the
+        paper uses 2 of 4; "typically ≤ K/2" for the unselected count).
+    warmup_epochs:
+        E_warm_up of the mutual-negotiation phase (Sec. III-B).
+    warmup_lr:
+        The "small learning rate" used during negotiation.
+    smoothing_alpha:
+        α of the double-exponential version predictor (Eq. 7).
+    selection_sigma:
+        Kernel width of the probability-based selection (Eq. 8); versions
+        are standardised by their spread before applying the Gaussian —
+        see DESIGN.md Sec. 4 on the paper's implicit σ.
+    selection:
+        Policy name: ``"gaussian_quartile"`` (the paper's Eq. 8),
+        ``"uniform"``, ``"latest"``, or ``"worst"`` (the upper-bound
+        study's forced choice of the weakest devices).
+    unselected_mix_weight:
+        Weight an unselected device keeps on its *local* parameters when
+        integrating the broadcast model (Sec. III-D: "integrate the
+        received model parameters with local parameters").
+    sync_wait_time:
+        The fault-tolerance pre-specified waiting time (Sec. III-D).
+    time_quantum:
+        Quantisation step for the hyperperiod LCM over measured (float)
+        epoch times.
+    max_hyperperiod_multiple:
+        Cap on the LCM relative to the largest per-device epoch time, to
+        keep jittered/near-coprime measurements from exploding the
+        hyperperiod; capped runs fall back to that largest epoch time.
+    adapt_local_steps:
+        If True (the paper's "dynamic configuration update", workflow
+        step 7), the strategy generator re-derives each device's step
+        budget from the version predictor's forecast each round.
+    """
+
+    tsync: int = 1
+    num_selected: int = 2
+    warmup_epochs: int = 1
+    warmup_lr: float = 1e-3
+    smoothing_alpha: float = 0.5
+    selection_sigma: float = 1.0
+    selection: str = "gaussian_quartile"
+    unselected_mix_weight: float = 0.5
+    sync_wait_time: float = 0.05
+    time_quantum: float = 1e-3
+    max_hyperperiod_multiple: float = 16.0
+    adapt_local_steps: bool = True
+
+    def __post_init__(self):
+        if self.tsync < 1:
+            raise ValueError(f"tsync must be >= 1, got {self.tsync}")
+        if self.num_selected < 1:
+            raise ValueError(f"num_selected must be >= 1, got {self.num_selected}")
+        if not 0.0 < self.smoothing_alpha < 1.0:
+            raise ValueError(
+                f"smoothing_alpha must be in (0, 1), got {self.smoothing_alpha}"
+            )
+        if self.selection_sigma <= 0:
+            raise ValueError(
+                f"selection_sigma must be positive, got {self.selection_sigma}"
+            )
+        if not 0.0 <= self.unselected_mix_weight <= 1.0:
+            raise ValueError(
+                "unselected_mix_weight must be in [0, 1], "
+                f"got {self.unselected_mix_weight}"
+            )
+        if self.warmup_epochs < 0:
+            raise ValueError(
+                f"warmup_epochs must be non-negative, got {self.warmup_epochs}"
+            )
+        if self.time_quantum <= 0:
+            raise ValueError(f"time_quantum must be positive, got {self.time_quantum}")

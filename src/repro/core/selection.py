@@ -1,0 +1,164 @@
+"""Probability-based device selection (paper Sec. III-C, Eq. 8).
+
+The strategy generator selects ``N_p`` devices for partial synchronisation
+with probability::
+
+    P(i,j) = f(v_{i,j}) / Σ_n f(v_{n,j}),   f(x) = (1/√2π) exp(−(x−µ)²/2)
+
+where µ is the **3rd quartile** of the current versions.  The design
+intent (quoted in the module tests): newer-version devices are favoured so
+stragglers perturb convergence less, stragglers are *never* excluded (their
+noise "helps the model jump out of the local minimum"), and devices with
+*medial* versions beat the very latest — hence the kernel peaks at Q3
+rather than the maximum.
+
+As printed, the unit-variance kernel underflows when versions spread over
+hundreds of steps, so versions are standardised by their spread before the
+kernel is applied; ``sigma`` scales the kernel width in spread units (see
+DESIGN.md Sec. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def gaussian_quartile_probabilities(
+    versions: Dict[int, float], sigma: float = 1.0
+) -> Dict[int, float]:
+    """Selection probabilities of Eq. 8 over a version dictionary."""
+    if not versions:
+        raise ValueError("no versions supplied")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    ids = sorted(versions)
+    values = np.array([versions[i] for i in ids], dtype=float)
+    mu = np.percentile(values, 75)  # the 3rd quartile of all v_{i,j}
+    spread = np.std(values)
+    if spread == 0.0:
+        # All devices at the same version: uniform selection.
+        return {i: 1.0 / len(ids) for i in ids}
+    z = (values - mu) / (sigma * spread)
+    density = np.exp(-0.5 * z**2) / np.sqrt(2 * np.pi)
+    total = density.sum()
+    return {i: float(p / total) for i, p in zip(ids, density)}
+
+
+class SelectionPolicy:
+    """Base class: subclasses return the ``N_p`` selected device ids."""
+
+    def probabilities(self, versions: Dict[int, float]) -> Dict[int, float]:
+        raise NotImplementedError
+
+    def select(
+        self,
+        versions: Dict[int, float],
+        num_selected: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Draw ``num_selected`` distinct devices from the policy's law."""
+        if num_selected < 1:
+            raise ValueError(f"num_selected must be >= 1, got {num_selected}")
+        ids = sorted(versions)
+        count = min(num_selected, len(ids))
+        probs = self.probabilities(versions)
+        weights = np.array([probs[i] for i in ids])
+        weights = weights / weights.sum()
+        chosen = rng.choice(len(ids), size=count, replace=False, p=weights)
+        return sorted(int(ids[c]) for c in chosen)
+
+
+class GaussianQuartileSelection(SelectionPolicy):
+    """The paper's Eq. 8 policy (Gaussian kernel at the 3rd quartile)."""
+
+    def __init__(self, sigma: float = 1.0):
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.sigma = sigma
+
+    def probabilities(self, versions: Dict[int, float]) -> Dict[int, float]:
+        return gaussian_quartile_probabilities(versions, self.sigma)
+
+
+class UniformSelection(SelectionPolicy):
+    """Version-blind uniform sampling (ablation baseline)."""
+
+    def probabilities(self, versions: Dict[int, float]) -> Dict[int, float]:
+        if not versions:
+            raise ValueError("no versions supplied")
+        p = 1.0 / len(versions)
+        return {i: p for i in versions}
+
+
+class LatestOnlySelection(SelectionPolicy):
+    """Deterministically pick the devices with the newest parameters.
+
+    The ablation counterpart to Eq. 8: the paper argues pure
+    latest-version selection wastes straggler effort and loses their
+    exploration noise.
+    """
+
+    def probabilities(self, versions: Dict[int, float]) -> Dict[int, float]:
+        if not versions:
+            raise ValueError("no versions supplied")
+        # Near-deterministic: all mass on the maximum, tiny elsewhere so
+        # `select` can still fill N_p slots when ties are absent.
+        ids = sorted(versions)
+        order = sorted(ids, key=lambda i: -versions[i])
+        mass = {i: 0.0 for i in ids}
+        weight = 1.0
+        for i in order:
+            mass[i] = weight
+            weight *= 1e-6
+        total = sum(mass.values())
+        return {i: m / total for i, m in mass.items()}
+
+    def select(self, versions, num_selected, rng):
+        ids = sorted(versions, key=lambda i: (-versions[i], i))
+        return sorted(ids[: min(num_selected, len(ids))])
+
+
+class ForcedWorstSelection(SelectionPolicy):
+    """Always select the devices with the *lowest* versions.
+
+    Implements the paper's upper-bound-of-accuracy-loss experiment:
+    "we manually specify that during local synchronization, only the two
+    GPUs with the worst computing power are selected each time"
+    (Sec. IV-B).
+    """
+
+    def probabilities(self, versions: Dict[int, float]) -> Dict[int, float]:
+        if not versions:
+            raise ValueError("no versions supplied")
+        ids = sorted(versions)
+        order = sorted(ids, key=lambda i: versions[i])
+        mass = {i: 0.0 for i in ids}
+        weight = 1.0
+        for i in order:
+            mass[i] = weight
+            weight *= 1e-6
+        total = sum(mass.values())
+        return {i: m / total for i, m in mass.items()}
+
+    def select(self, versions, num_selected, rng):
+        ids = sorted(versions, key=lambda i: (versions[i], i))
+        return sorted(ids[: min(num_selected, len(ids))])
+
+
+_POLICIES = {
+    "gaussian_quartile": GaussianQuartileSelection,
+    "uniform": UniformSelection,
+    "latest": LatestOnlySelection,
+    "worst": ForcedWorstSelection,
+}
+
+
+def make_selection_policy(name: str, sigma: float = 1.0) -> SelectionPolicy:
+    """Build a policy by config name."""
+    if name not in _POLICIES:
+        raise KeyError(f"unknown selection policy {name!r}; choose from {sorted(_POLICIES)}")
+    if name == "gaussian_quartile":
+        return GaussianQuartileSelection(sigma=sigma)
+    return _POLICIES[name]()

@@ -1,0 +1,58 @@
+"""Bandwidth-aware device selection — the paper's future-work extension.
+
+The conclusion of the paper: *"In the future, we will ... optimize it by
+taking into account heterogeneous network bandwidth and data
+distribution."*  On a :class:`~repro.sim.network.HeterogeneousNetworkModel`
+a gossip ring advances at the pace of its slowest participating link, so
+selecting a throttled device taxes every member of the ring.
+
+:class:`BandwidthAwareSelection` composes any base (version-law) policy
+with a link-quality tilt::
+
+    P(i) ∝ P_base(i) · (bw_i / max_bw)^gamma
+
+``gamma = 0`` recovers the base policy; larger gamma avoids slow links
+more aggressively while never zeroing a device out (preserving the
+paper's never-exclude-stragglers principle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.selection import GaussianQuartileSelection, SelectionPolicy
+from repro.sim.network import NetworkModel
+
+
+class BandwidthAwareSelection(SelectionPolicy):
+    """Version-law selection tilted toward well-connected devices."""
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        base: Optional[SelectionPolicy] = None,
+        gamma: float = 1.0,
+    ):
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.network = network
+        self.base = base or GaussianQuartileSelection()
+        self.gamma = gamma
+
+    def probabilities(self, versions: Dict[int, float]) -> Dict[int, float]:
+        base_probs = self.base.probabilities(versions)
+        bandwidths = {
+            device: self.network.effective_bandwidth(device) for device in versions
+        }
+        reference = max(bandwidths.values())
+        tilted = {
+            device: base_probs[device]
+            * (bandwidths[device] / reference) ** self.gamma
+            for device in versions
+        }
+        total = sum(tilted.values())
+        if total <= 0:
+            return base_probs
+        return {device: p / total for device, p in tilted.items()}

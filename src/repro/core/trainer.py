@@ -1,0 +1,301 @@
+"""HADFLTrainer: Algorithm 1 on the simulated heterogeneous cluster.
+
+One ``run()`` executes the paper's full workflow (Sec. III-A):
+
+1.  liveness check → available devices;
+2.  initial model dispatch (every device starts from identical weights);
+3.  mutual negotiation — devices train ``E_warm_up`` epochs at a small
+    learning rate and report their calculation times ``T_i``;
+4.  strategy generation — hyperperiod, per-device local steps ``E_k``,
+    synchronisation window, probability-based selection;
+5.  heterogeneity-aware asynchronous local training until the window
+    closes (each device fits as many steps as its speed allows);
+6.  partial model synchronisation over a random directed ring with the
+    fault-tolerant bypass protocol, then a non-blocking broadcast of the
+    aggregate to the unselected devices, which *integrate* it with their
+    local parameters;
+7.  dynamic configuration update from the version predictor;
+8.  repeat until the target number of global epochs;
+9.  periodic model backup through the model manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.comm.ring_repair import FaultTolerantRingSync
+from repro.comm.volume import CommVolumeAccountant
+from repro.core.config import HADFLParams
+from repro.core.coordinator import Coordinator
+from repro.core.selection import SelectionPolicy
+from repro.metrics.records import RoundRecord, RunResult
+from repro.sim.cluster import SimulatedCluster
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class HADFLTrainer:
+    """Heterogeneity-aware decentralized federated training.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated testbed (devices, shards, network, failures).
+    params:
+        HADFL hyper-parameters; defaults follow the paper.
+    selection:
+        Optional policy override (the worst-case study injects
+        :class:`~repro.core.selection.ForcedWorstSelection` here).
+    seed:
+        Seed for selection and topology randomness.
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        params: Optional[HADFLParams] = None,
+        selection: Optional[SelectionPolicy] = None,
+        seed: int = 0,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.cluster = cluster
+        self.params = params or HADFLParams()
+        self.coordinator = Coordinator(
+            self.params,
+            failures=cluster.failures,
+            selection=selection,
+            seed=seed,
+        )
+        self.sync = FaultTolerantRingSync(
+            cluster.network, wait_time=self.params.sync_wait_time
+        )
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.volume = CommVolumeAccountant()
+        self.sim = Simulator()
+        self._global_params = np.array(cluster.initial_params, copy=True)
+
+    # ------------------------------------------------------------------ #
+    def _mutual_negotiation(self) -> Dict[int, float]:
+        """Workflow steps 2–3: warm-up training + T_i measurement.
+
+        Devices run in parallel; the phase ends when the slowest finishes
+        (a synchronisation barrier before the first strategy is built).
+        """
+        calc_times: Dict[int, float] = {}
+        start = self.sim.now
+        warmup = max(1, self.params.warmup_epochs)
+        for device in self.cluster.alive_devices(start):
+            t_i, _ = device.measure_calculation_time(warmup, start_time=start)
+            calc_times[device.device_id] = t_i
+            self.trace.record(start + t_i, "negotiation_done", device.device_id, T_i=t_i)
+        if not calc_times:
+            raise RuntimeError("no devices alive at negotiation time")
+        self.sim.advance_to(start + max(calc_times.values()))
+        return calc_times
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        target_epochs: float,
+        max_rounds: int = 100_000,
+        eval_every: int = 1,
+    ) -> RunResult:
+        """Train until ``target_epochs`` aggregate data passes.
+
+        ``eval_every`` controls how often (in rounds) the aggregated model
+        is evaluated on the test set — evaluation is instrumentation and
+        costs no virtual time.
+        """
+        if target_epochs <= 0:
+            raise ValueError(f"target_epochs must be positive, got {target_epochs}")
+        params = self.params
+        cluster = self.cluster
+        result = RunResult(
+            scheme="hadfl",
+            config={
+                "tsync": params.tsync,
+                "num_selected": params.num_selected,
+                "selection": params.selection,
+                "warmup_epochs": params.warmup_epochs,
+                "power_ratio": [s.power for s in cluster.specs],
+                "model_nbytes": cluster.model_nbytes,
+            },
+        )
+
+        # Initial model dispatch (step 2): coordinator → K devices, priced
+        # as sequential full-model sends.
+        dispatch = cluster.network.sequential_sends_time(
+            cluster.model_nbytes, len(cluster.devices)
+        )
+        self.volume.record(
+            self.sim.now,
+            cluster.model_nbytes * len(cluster.devices),
+            "initial_dispatch",
+        )
+        self.sim.advance_to(self.sim.now + dispatch)
+
+        # Mutual negotiation (step 3) and strategy generation (step 4).
+        calc_times = self._mutual_negotiation()
+        steps_per_epoch = {
+            d.device_id: d.cycler.batches_per_epoch for d in cluster.devices
+        }
+        strategy = self.coordinator.negotiate(calc_times, steps_per_epoch)
+        self.trace.record(
+            self.sim.now,
+            "strategy_generated",
+            hyperperiod=strategy.hyperperiod,
+            local_steps=dict(strategy.local_steps),
+        )
+
+        round_index = 0
+        while (
+            cluster.global_epoch() < target_epochs and round_index < max_rounds
+        ):
+            record = self._run_round(round_index, strategy, eval_every)
+            result.append(record)
+            strategy = self.coordinator.update_strategy()
+            round_index += 1
+
+        if result.rounds and result.rounds[-1].test_accuracy is None:
+            # Always evaluate the final model so best/final accuracy exist.
+            loss, acc = cluster.evaluate_params(self._global_params)
+            result.rounds[-1].test_loss = loss
+            result.rounds[-1].test_accuracy = acc
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_round(
+        self, round_index: int, strategy, eval_every: int
+    ) -> RoundRecord:
+        params = self.params
+        cluster = self.cluster
+        t_start = self.sim.now
+        deadline = t_start + strategy.sync_window
+
+        # Step 1: liveness monitor decides this round's participants.
+        available = self.coordinator.available_devices(
+            cluster.device_ids, t_start
+        )
+        if not available:
+            # Everyone is down: idle through the window and try again.
+            self.sim.advance_to(deadline)
+            return RoundRecord(
+                round_index=round_index,
+                sim_time=self.sim.now,
+                global_epoch=cluster.global_epoch(),
+                train_loss=float("nan"),
+                detail={"skipped": True},
+            )
+
+        # Selection happens *before* versions for this round are known —
+        # the coordinator works from forecasts (or, in round 0, from the
+        # negotiation-time expected versions).
+        selected = self.coordinator.select_devices(available)
+        topology = self.coordinator.make_topology(selected)
+        ring_order = topology.ring_order() if len(selected) > 1 else list(selected)
+
+        # Step 5: heterogeneity-aware asynchronous local training.  The
+        # window deadline is the binding constraint (Alg. 1 line 6); the
+        # strategy's E_k budgets are the coordinator's *expectations* and
+        # feed the selection estimates, they do not clamp the devices —
+        # clamping to a forecast would let prediction error throttle real
+        # compute capacity.
+        losses, steps = [], []
+        for device_id in available:
+            device = cluster.device_by_id(device_id)
+            # A device that disconnects mid-window stops computing at the
+            # moment it drops; the ring repair handles it at sync time.
+            effective_deadline = min(
+                deadline, cluster.failures.next_down_time(device_id, t_start)
+            )
+            burst = device.train_until(effective_deadline, start_time=t_start)
+            if burst.steps:
+                losses.extend(burst.losses)
+                steps.append(burst.steps)
+            self.trace.record(
+                device.busy_until,
+                "local_training_done",
+                device_id,
+                steps=burst.steps,
+            )
+
+        # Step 6: fault-tolerant partial synchronisation at the deadline.
+        self.sim.advance_to(deadline)
+        vectors = {
+            device_id: cluster.device_by_id(device_id).get_params()
+            for device_id in selected
+        }
+        sync_result = self.sync.run(
+            self.sim,
+            ring_order,
+            vectors,
+            lambda d, t: cluster.failures.is_alive(d, t),
+            cluster.model_nbytes,
+            trace=self.trace,
+        )
+        self.volume.record(
+            self.sim.now, sync_result.bytes_sent, "partial_sync"
+        )
+
+        if sync_result.aggregated is not None:
+            self._global_params = sync_result.aggregated
+            for device_id in sync_result.survivors:
+                cluster.device_by_id(device_id).set_params(sync_result.aggregated)
+            # Non-blocking broadcast to unselected devices (they integrate
+            # the aggregate with local parameters; the round's critical
+            # path is not extended).
+            broadcaster = (
+                sync_result.survivors[0] if sync_result.survivors else None
+            )
+            unselected = [d for d in available if d not in selected]
+            for receiver in unselected:
+                if not cluster.failures.is_alive(receiver, self.sim.now):
+                    continue
+                cluster.device_by_id(receiver).mix_params(
+                    sync_result.aggregated,
+                    own_weight=params.unselected_mix_weight,
+                )
+                self.volume.record(
+                    self.sim.now,
+                    cluster.model_nbytes,
+                    "broadcast",
+                    src=broadcaster,
+                    dst=receiver,
+                )
+
+        # Step 7: runtime supervisor records the actual versions.
+        versions = {
+            device_id: cluster.device_by_id(device_id).version
+            for device_id in available
+        }
+        self.coordinator.record_versions(versions)
+
+        # Step 9: periodic model backup.
+        self.coordinator.model_manager.backup(
+            round_index, self.sim.now, self._global_params
+        )
+
+        record = RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=cluster.global_epoch(),
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            selected=list(selected),
+            versions=versions,
+            comm_bytes=sync_result.bytes_sent
+            + cluster.model_nbytes * len([d for d in available if d not in selected]),
+            bypasses=len(sync_result.bypasses),
+        )
+        if round_index % max(1, eval_every) == 0:
+            loss, acc = cluster.evaluate_params(self._global_params)
+            record.test_loss = loss
+            record.test_accuracy = acc
+        return record
+
+    # ------------------------------------------------------------------ #
+    @property
+    def global_params(self) -> np.ndarray:
+        """The latest aggregated model (what the model manager backs up)."""
+        return self._global_params

@@ -1,0 +1,97 @@
+"""Dataset abstractions: array-backed datasets, subsets, splits."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal dataset protocol: length + indexed access to (x, y) pairs."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    @property
+    def features(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def labels(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset over in-memory arrays ``X`` (N, ...) and ``y`` (N,)."""
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray):
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if len(features) != len(labels):
+            raise ValueError(
+                f"features/labels length mismatch: {len(features)} vs {len(labels)}"
+            )
+        self._features = features
+        self._labels = labels
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self._features[index], self._labels[index]
+
+    @property
+    def features(self) -> np.ndarray:
+        return self._features
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    def num_classes(self) -> int:
+        return int(self._labels.max()) + 1
+
+
+class Subset(Dataset):
+    """A view of another dataset through an index array.
+
+    Used to give each federated device its shard without copying pixels.
+    """
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if len(self.indices) and self.indices.max() >= len(dataset):
+            raise IndexError("subset index out of range")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.dataset[int(self.indices[index])]
+
+    @property
+    def features(self) -> np.ndarray:
+        return self.dataset.features[self.indices]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.dataset.labels[self.indices]
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Subset, Subset]:
+    """Random disjoint train/test split of an :class:`ArrayDataset`."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(len(dataset))
+    n_test = int(round(len(dataset) * test_fraction))
+    return Subset(dataset, order[n_test:]), Subset(dataset, order[:n_test])

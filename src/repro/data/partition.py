@@ -1,0 +1,129 @@
+"""Federated data partitioners.
+
+All partitioners return a list of ``K`` disjoint index arrays covering the
+dataset (every sample assigned to exactly one device) — the invariant the
+property tests pin down.  The paper splits CIFAR-10 evenly across the four
+GPUs ("The training data is split on four GPUs"); ``partition_iid``
+reproduces that, while Dirichlet/shard partitioners support the non-IID
+extension the paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _validate_k(num_devices: int) -> None:
+    if num_devices < 1:
+        raise ValueError(f"need at least one device, got {num_devices}")
+
+
+def partition_iid(
+    num_samples: int,
+    num_devices: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """Shuffle and deal samples round-robin: near-equal IID shards."""
+    _validate_k(num_devices)
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(num_samples)
+    return [np.sort(order[i::num_devices]) for i in range(num_devices)]
+
+
+def partition_proportional(
+    num_samples: int,
+    proportions: Sequence[float],
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """IID shards sized proportionally (e.g. match device compute power)."""
+    proportions = np.asarray(proportions, dtype=float)
+    if (proportions <= 0).any():
+        raise ValueError("proportions must be positive")
+    _validate_k(len(proportions))
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(num_samples)
+    fractions = proportions / proportions.sum()
+    # Largest-remainder allocation so counts sum exactly to num_samples.
+    ideal = fractions * num_samples
+    counts = np.floor(ideal).astype(int)
+    remainder = num_samples - counts.sum()
+    leftover_rank = np.argsort(-(ideal - counts))
+    counts[leftover_rank[:remainder]] += 1
+    splits = np.cumsum(counts)[:-1]
+    return [np.sort(part) for part in np.split(order, splits)]
+
+
+def partition_dirichlet(
+    labels: np.ndarray,
+    num_devices: int,
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+    min_size: int = 1,
+    max_retries: int = 100,
+) -> List[np.ndarray]:
+    """Label-skewed non-IID split: per-class Dirichlet(alpha) allocation.
+
+    Smaller ``alpha`` → more skew (each device dominated by few classes).
+    Retries until every device holds at least ``min_size`` samples, the
+    standard recipe from Hsu et al. (2019).
+    """
+    _validate_k(num_devices)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    labels = np.asarray(labels)
+    rng = rng or np.random.default_rng()
+    classes = np.unique(labels)
+    for _ in range(max_retries):
+        shards: List[List[int]] = [[] for _ in range(num_devices)]
+        for cls in classes:
+            class_indices = np.flatnonzero(labels == cls)
+            rng.shuffle(class_indices)
+            weights = rng.dirichlet([alpha] * num_devices)
+            counts = np.floor(weights * len(class_indices)).astype(int)
+            counts[-1] = len(class_indices) - counts[:-1].sum()
+            start = 0
+            for device, count in enumerate(counts):
+                shards[device].extend(class_indices[start : start + count])
+                start += count
+        if min(len(s) for s in shards) >= min_size:
+            return [np.sort(np.asarray(s, dtype=np.int64)) for s in shards]
+    raise RuntimeError(
+        f"could not satisfy min_size={min_size} after {max_retries} retries; "
+        "lower min_size or raise alpha"
+    )
+
+
+def partition_shards(
+    labels: np.ndarray,
+    num_devices: int,
+    shards_per_device: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> List[np.ndarray]:
+    """McMahan-style pathological non-IID split.
+
+    Sort by label, slice into ``num_devices * shards_per_device``
+    contiguous shards, deal ``shards_per_device`` to each device — every
+    device sees only a few classes.
+    """
+    _validate_k(num_devices)
+    if shards_per_device < 1:
+        raise ValueError("shards_per_device must be >= 1")
+    labels = np.asarray(labels)
+    rng = rng or np.random.default_rng()
+    num_shards = num_devices * shards_per_device
+    if num_shards > len(labels):
+        raise ValueError(
+            f"{num_shards} shards requested but only {len(labels)} samples"
+        )
+    by_label = np.argsort(labels, kind="stable")
+    shards = np.array_split(by_label, num_shards)
+    shard_order = rng.permutation(num_shards)
+    result = []
+    for device in range(num_devices):
+        picked = shard_order[
+            device * shards_per_device : (device + 1) * shards_per_device
+        ]
+        result.append(np.sort(np.concatenate([shards[s] for s in picked])))
+    return result

@@ -1,0 +1,100 @@
+"""Batch-level data augmentation for NCHW image batches.
+
+CIFAR training conventionally uses random crops (with padding) and
+horizontal flips; these NumPy equivalents plug into a
+:class:`~repro.data.loader.BatchCycler` via :class:`AugmentingCycler` so
+federated devices can augment locally without changing the trainers.
+All transforms take and return ``(N, C, H, W)`` arrays and draw from an
+explicit RNG for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchCycler
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def random_horizontal_flip(p: float = 0.5) -> Transform:
+    """Flip each image left-right with probability ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = batch.copy()
+        flips = rng.random(len(batch)) < p
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+    return apply
+
+
+def random_crop(padding: int = 1) -> Transform:
+    """Pad reflectively then crop back at a random offset (CIFAR-style)."""
+    if padding < 1:
+        raise ValueError(f"padding must be >= 1, got {padding}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, c, h, w = batch.shape
+        padded = np.pad(
+            batch,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="reflect",
+        )
+        out = np.empty_like(batch)
+        offsets = rng.integers(0, 2 * padding + 1, size=(n, 2))
+        for i, (dy, dx) in enumerate(offsets):
+            out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+        return out
+
+    return apply
+
+
+def gaussian_noise(sigma: float = 0.05) -> Transform:
+    """Additive pixel noise (a mild regulariser on the synthetic task)."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if sigma == 0:
+            return batch
+        return batch + sigma * rng.normal(size=batch.shape)
+
+    return apply
+
+
+def compose(*transforms: Transform) -> Transform:
+    """Apply transforms left to right."""
+
+    def apply(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in transforms:
+            batch = transform(batch, rng)
+        return batch
+
+    return apply
+
+
+class AugmentingCycler(BatchCycler):
+    """A :class:`BatchCycler` that augments every emitted batch."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        transform: Transform,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(dataset, batch_size, rng=rng)
+        self.transform = transform
+        self._augment_rng = np.random.default_rng(
+            self._rng.integers(0, 2**31 - 1)
+        )
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        features, labels = super().next_batch()
+        return self.transform(features, self._augment_rng), labels

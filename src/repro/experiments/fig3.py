@@ -1,0 +1,59 @@
+"""Fig. 3: loss/accuracy vs epoch and accuracy vs time, per model.
+
+For one model the paper shows three panels per heterogeneity setting:
+(a/d) training loss vs epoch, (b/e) test accuracy vs epoch, (c/f) test
+accuracy vs time — for distributed training, decentralized-FedAvg, HADFL,
+and the forced-worst-selection overlay ("HADFL-worst").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.selection import ForcedWorstSelection
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import SCHEMES, run_scheme
+from repro.metrics.plotting import ascii_plot, series_from_results
+from repro.metrics.records import RunResult
+
+
+def run_fig3(
+    config: ExperimentConfig, include_worst_case: bool = True
+) -> Dict[str, RunResult]:
+    """All series of one Fig. 3 row (one model, one heterogeneity)."""
+    results = {scheme: run_scheme(scheme, config) for scheme in SCHEMES}
+    if include_worst_case:
+        results["hadfl_worst"] = run_scheme(
+            "hadfl", config, selection=ForcedWorstSelection()
+        )
+    return results
+
+
+def format_fig3(results: Dict[str, RunResult], model_name: str) -> str:
+    """Render the three panels as ASCII plots."""
+    panels = []
+    panels.append(
+        ascii_plot(
+            series_from_results(results, x_axis="epoch", y_axis="train_loss"),
+            title=f"Fig3: loss vs epoch ({model_name})",
+            xlabel="global epoch",
+            ylabel="train loss",
+        )
+    )
+    panels.append(
+        ascii_plot(
+            series_from_results(results, x_axis="epoch", y_axis="accuracy"),
+            title=f"Fig3: test accuracy vs epoch ({model_name})",
+            xlabel="global epoch",
+            ylabel="test accuracy",
+        )
+    )
+    panels.append(
+        ascii_plot(
+            series_from_results(results, x_axis="time", y_axis="accuracy"),
+            title=f"Fig3: test accuracy vs time ({model_name})",
+            xlabel="virtual seconds",
+            ylabel="test accuracy",
+        )
+    )
+    return "\n\n".join(panels)

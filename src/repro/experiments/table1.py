@@ -1,0 +1,84 @@
+"""Table I: time required to reach the maximum test accuracy.
+
+Four cells — {ResNet, VGG} × {[3,3,1,1], [4,2,2,1]} — each reporting
+(max accuracy, time) for the three schemes, plus the HADFL speedups the
+paper headlines (3.02×/4.68× over distributed, 2.11×/3.15× over
+decentralized-FedAvg on ResNet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.configs import (
+    ExperimentConfig,
+    HETEROGENEITY_3311,
+    HETEROGENEITY_4221,
+)
+from repro.experiments.runner import SCHEMES, repeat_scheme
+from repro.metrics.convergence import time_to_max_accuracy
+from repro.metrics.records import RunResult
+from repro.metrics.report import render_table
+
+
+@dataclass
+class Table1Cell:
+    """One (model × heterogeneity) column of Table I."""
+
+    model: str
+    power_ratio: Tuple[float, ...]
+    results: Dict[str, RunResult]
+
+    def accuracy_and_time(self, scheme: str) -> Tuple[float, float]:
+        return time_to_max_accuracy(self.results[scheme])
+
+    def speedup_over(self, baseline: str) -> float:
+        """HADFL speedup as the paper computes it for Table I: the ratio
+        of each scheme's *own* time-to-maximum-accuracy (e.g. 2431.38 s /
+        805.00 s = 3.02x for ResNet [3,3,1,1])."""
+        _, t_base = time_to_max_accuracy(self.results[baseline])
+        _, t_hadfl = time_to_max_accuracy(self.results["hadfl"])
+        if t_hadfl == 0:
+            return float("nan")
+        return t_base / t_hadfl
+
+
+def run_table1(
+    base_config: ExperimentConfig,
+    models: Tuple[str, ...] = ("resnet_mini", "vgg_mini"),
+    ratios=(HETEROGENEITY_3311, HETEROGENEITY_4221),
+    repeats: int = 1,
+) -> List[Table1Cell]:
+    """Run every Table I cell (defaults are the scaled-down models)."""
+    cells = []
+    for model in models:
+        for ratio in ratios:
+            config = base_config.with_overrides(model=model, power_ratio=tuple(ratio))
+            results = {
+                scheme: repeat_scheme(scheme, config, repeats=repeats)
+                for scheme in SCHEMES
+            }
+            cells.append(Table1Cell(model, tuple(ratio), results))
+    return cells
+
+
+def format_table1(cells: List[Table1Cell]) -> str:
+    """Render the cells in the paper's Table I layout."""
+    headers = ["scheme"] + [
+        f"{cell.model} {list(map(int, cell.power_ratio))}" for cell in cells
+    ]
+    rows = []
+    for scheme in SCHEMES:
+        row = [scheme]
+        for cell in cells:
+            accuracy, time = cell.accuracy_and_time(scheme)
+            row.append(f"{accuracy * 100:.0f}% @ {time:.1f}s")
+        rows.append(row)
+    speedup_dist = ["hadfl speedup vs distributed"] + [
+        f"{cell.speedup_over('distributed'):.2f}x" for cell in cells
+    ]
+    speedup_fedavg = ["hadfl speedup vs dec-fedavg"] + [
+        f"{cell.speedup_over('decentralized_fedavg'):.2f}x" for cell in cells
+    ]
+    return render_table(headers, rows + [speedup_dist, speedup_fedavg])

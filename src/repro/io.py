@@ -1,0 +1,99 @@
+"""Persistence: model checkpoints and run results on disk.
+
+The coordinator's model manager "regularly fetches the latest model and
+puts it in the database for backup" (workflow step 9); this module is
+that database for a filesystem deployment, plus round-trip storage for
+:class:`~repro.metrics.records.RunResult` so experiment campaigns can be
+analysed offline.
+
+Formats: model state → ``.npz`` (one array per parameter/buffer path);
+run results → JSON (the schema of ``RunResult.to_dict``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.metrics.records import RoundRecord, RunResult
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+# npz keys cannot contain the "buffer:" prefix's colon reliably across
+# tools; encode it.
+_BUFFER_PREFIX = "buffer__"
+
+
+def save_model(module: Module, path: PathLike) -> Path:
+    """Write a module's full state (params + buffers) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    encoded = {}
+    for key, value in module.state_dict().items():
+        encoded[key.replace("buffer:", _BUFFER_PREFIX)] = value
+    np.savez(path, **encoded)
+    return path
+
+
+def load_model(module: Module, path: PathLike) -> Module:
+    """Load a ``.npz`` checkpoint into an architecture-matching module."""
+    with np.load(Path(path)) as archive:
+        state = {
+            key.replace(_BUFFER_PREFIX, "buffer:"): archive[key]
+            for key in archive.files
+        }
+    module.load_state_dict(state)
+    return module
+
+
+def save_result(result: RunResult, path: PathLike) -> Path:
+    """Write a run result to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result.to_dict(), indent=2))
+    return path
+
+
+def load_result(path: PathLike) -> RunResult:
+    """Read a run result back from JSON."""
+    payload = json.loads(Path(path).read_text())
+    result = RunResult(scheme=payload["scheme"], config=payload.get("config", {}))
+    for row in payload["rounds"]:
+        result.append(
+            RoundRecord(
+                round_index=row["round_index"],
+                sim_time=row["sim_time"],
+                global_epoch=row["global_epoch"],
+                train_loss=row["train_loss"],
+                test_loss=row.get("test_loss"),
+                test_accuracy=row.get("test_accuracy"),
+                selected=list(row.get("selected", [])),
+                versions={int(k): v for k, v in row.get("versions", {}).items()},
+                comm_bytes=row.get("comm_bytes", 0),
+                bypasses=row.get("bypasses", 0),
+            )
+        )
+    return result
+
+
+def save_results(results: Dict[str, RunResult], directory: PathLike) -> Path:
+    """Write a named family of runs (one JSON per scheme)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, result in results.items():
+        save_result(result, directory / f"{name}.json")
+    return directory
+
+
+def load_results(directory: PathLike) -> Dict[str, RunResult]:
+    """Read every ``*.json`` run in a directory, keyed by stem."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no such results directory: {directory}")
+    return {
+        path.stem: load_result(path) for path in sorted(directory.glob("*.json"))
+    }

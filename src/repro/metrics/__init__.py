@@ -1,0 +1,31 @@
+"""Metrics: run records, convergence analysis, reports, ASCII plots."""
+
+from repro.metrics.records import RoundRecord, RunResult
+from repro.metrics.convergence import (
+    epochs_to_accuracy,
+    speedup,
+    time_to_accuracy,
+    time_to_max_accuracy,
+)
+from repro.metrics.report import (
+    comparison_table,
+    render_table,
+    results_to_csv,
+    results_to_json,
+)
+from repro.metrics.plotting import ascii_plot, series_from_results
+
+__all__ = [
+    "RoundRecord",
+    "RunResult",
+    "time_to_accuracy",
+    "time_to_max_accuracy",
+    "epochs_to_accuracy",
+    "speedup",
+    "render_table",
+    "comparison_table",
+    "results_to_json",
+    "results_to_csv",
+    "ascii_plot",
+    "series_from_results",
+]

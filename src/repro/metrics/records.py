@@ -1,0 +1,127 @@
+"""Run records: the common result schema of all three training schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RoundRecord:
+    """Metrics of one aggregation round (or epoch for the baselines)."""
+
+    round_index: int
+    sim_time: float
+    """Virtual time at the end of the round."""
+    global_epoch: float
+    """Aggregate data passes at the end of the round."""
+    train_loss: float
+    """Mean local training loss over the round's steps."""
+    test_loss: Optional[float] = None
+    test_accuracy: Optional[float] = None
+    selected: List[int] = field(default_factory=list)
+    versions: Dict[int, int] = field(default_factory=dict)
+    comm_bytes: int = 0
+    bypasses: int = 0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Full trajectory of one training run."""
+
+    scheme: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Series accessors
+    # ------------------------------------------------------------------ #
+    def _series(self, attr: str, evaluated_only: bool = False) -> np.ndarray:
+        rows = self.rounds
+        if evaluated_only:
+            rows = [r for r in rows if r.test_accuracy is not None]
+        return np.array([getattr(r, attr) for r in rows], dtype=float)
+
+    def times(self, evaluated_only: bool = False) -> np.ndarray:
+        return self._series("sim_time", evaluated_only)
+
+    def epochs(self, evaluated_only: bool = False) -> np.ndarray:
+        return self._series("global_epoch", evaluated_only)
+
+    def train_losses(self) -> np.ndarray:
+        return self._series("train_loss")
+
+    def test_accuracies(self) -> np.ndarray:
+        return self._series("test_accuracy", evaluated_only=True)
+
+    def test_losses(self) -> np.ndarray:
+        return self._series("test_loss", evaluated_only=True)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_time(self) -> float:
+        return self.rounds[-1].sim_time if self.rounds else 0.0
+
+    @property
+    def total_epochs(self) -> float:
+        return self.rounds[-1].global_epoch if self.rounds else 0.0
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return sum(r.comm_bytes for r in self.rounds)
+
+    def best_accuracy(self) -> float:
+        accs = self.test_accuracies()
+        if accs.size == 0:
+            raise ValueError("run recorded no test accuracies")
+        return float(accs.max())
+
+    def final_accuracy(self) -> float:
+        accs = self.test_accuracies()
+        if accs.size == 0:
+            raise ValueError("run recorded no test accuracies")
+        return float(accs[-1])
+
+    def summary(self) -> str:
+        lines = [
+            f"scheme          : {self.scheme}",
+            f"rounds          : {len(self.rounds)}",
+            f"virtual time    : {self.total_time:.2f} s",
+            f"global epochs   : {self.total_epochs:.2f}",
+            f"comm volume     : {self.total_comm_bytes:,} bytes",
+        ]
+        accs = self.test_accuracies()
+        if accs.size:
+            lines.append(f"best accuracy   : {accs.max():.4f}")
+            lines.append(f"final accuracy  : {accs[-1]:.4f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable dump of the run."""
+        return {
+            "scheme": self.scheme,
+            "config": self.config,
+            "rounds": [
+                {
+                    "round_index": r.round_index,
+                    "sim_time": r.sim_time,
+                    "global_epoch": r.global_epoch,
+                    "train_loss": r.train_loss,
+                    "test_loss": r.test_loss,
+                    "test_accuracy": r.test_accuracy,
+                    "selected": list(r.selected),
+                    "versions": {str(k): int(v) for k, v in r.versions.items()},
+                    "comm_bytes": r.comm_bytes,
+                    "bypasses": r.bypasses,
+                }
+                for r in self.rounds
+            ],
+        }

@@ -1,0 +1,36 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, softmax_cross_entropy
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean softmax cross-entropy over integer class targets.
+
+    ``forward(logits, targets)`` where ``logits`` is (N, C) and ``targets``
+    is an integer array of shape (N,).  Numerically-stable fused
+    implementation (see :func:`repro.autograd.softmax_cross_entropy`).
+    """
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return softmax_cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error over all elements."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()
+
+
+def accuracy(logits, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = data.argmax(axis=1)
+    return float((predictions == np.asarray(targets)).mean())

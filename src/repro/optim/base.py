@@ -1,0 +1,54 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.autograd import Tensor, no_grad
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list.
+
+    Subclasses implement :meth:`_update` for a single parameter given its
+    gradient; state (momentum buffers etc.) is keyed by parameter identity
+    so the same optimizer instance can survive parameter-data replacement
+    during federated synchronisation (data is updated in place).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored."""
+        with no_grad():
+            for index, param in enumerate(self.params):
+                if param.grad is None:
+                    continue
+                self._update(index, param)
+        self._step_count += 1
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    def _update(self, index: int, param: Parameter) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "step_count": self._step_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self._step_count = state["step_count"]

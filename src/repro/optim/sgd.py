@@ -1,0 +1,67 @@
+"""Stochastic gradient descent with momentum / Nesterov / weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD matching ``torch.optim.SGD`` semantics.
+
+    Update with momentum ``m`` and weight decay ``wd``::
+
+        g   <- grad + wd * w
+        buf <- m * buf + g
+        w   <- w - lr * buf            (or lr * (g + m * buf) for Nesterov)
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._buffers = [None] * len(self.params)
+
+    def _update(self, index: int, param: Parameter) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            buf = self._buffers[index]
+            if buf is None:
+                buf = grad.copy()
+            else:
+                buf *= self.momentum
+                buf += grad
+            self._buffers[index] = buf
+            grad = grad + self.momentum * buf if self.nesterov else buf
+        param.data -= self.lr * grad
+
+    def reset_state(self) -> None:
+        """Drop momentum buffers (used after federated model replacement)."""
+        self._buffers = [None] * len(self.params)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffers"] = [None if b is None else b.copy() for b in self._buffers]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._buffers = [None if b is None else b.copy() for b in state["buffers"]]

@@ -1,0 +1,204 @@
+"""SimulatedCluster: devices + network + data, shared by all trainers.
+
+Builds the testbed every scheme (HADFL and both baselines) trains on, so
+comparisons are apples-to-apples: same initial model, same shards, same
+network, same failure schedule — only the coordination strategy differs,
+exactly as in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.comm.params import FlatParamCodec
+from repro.data.dataset import Dataset, Subset
+from repro.data.loader import BatchCycler
+from repro.data.partition import partition_dirichlet, partition_iid
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.optim.base import Optimizer
+from repro.optim.lr_schedules import LRSchedule
+from repro.optim.sgd import SGD
+from repro.sim.device import Device, DeviceSpec
+from repro.sim.failures import FailureInjector
+from repro.sim.network import NetworkModel
+
+
+class SimulatedCluster:
+    """A heterogeneous federated testbed with a shared evaluation model.
+
+    Parameters
+    ----------
+    model_factory:
+        ``rng -> Module`` builder; every device (and the evaluation
+        replica) gets an architecture-identical instance.
+    train_set / test_set:
+        Global datasets; the train set is partitioned across devices.
+    specs:
+        One :class:`DeviceSpec` per device (the power-ratio array).
+    batch_size:
+        Per-device batch size (the paper: global 256 over 4 GPUs → 64).
+    partition:
+        ``"iid"`` (the paper's split) or ``"dirichlet"`` for the non-IID
+        extension; a precomputed list of index arrays is also accepted.
+    optimizer_factory:
+        ``params -> Optimizer``; defaults to plain SGD at lr 0.01 as the
+        paper uses.
+    lr_schedule:
+        Shared learning-rate policy (e.g. warm-up then 0.01).
+    failure_injector:
+        Optional disconnect schedule consulted by trainers.
+    seed:
+        Master seed; initial model, shards, device RNG streams and ring
+        shuffles all derive from it deterministically.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[np.random.Generator], Module],
+        train_set: Dataset,
+        test_set: Dataset,
+        specs: Sequence[DeviceSpec],
+        batch_size: int = 64,
+        partition="iid",
+        dirichlet_alpha: float = 0.5,
+        optimizer_factory: Optional[Callable[[list], Optimizer]] = None,
+        lr_schedule: Optional[LRSchedule] = None,
+        network: Optional[NetworkModel] = None,
+        failure_injector: Optional[FailureInjector] = None,
+        seed: int = 0,
+    ):
+        if not specs:
+            raise ValueError("need at least one device spec")
+        ids = [s.device_id for s in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate device ids in specs: {ids}")
+        self.specs = list(specs)
+        self.train_set = train_set
+        self.test_set = test_set
+        self.network = network or NetworkModel()
+        self.failures = failure_injector or FailureInjector()
+        self.lr_schedule = lr_schedule
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        optimizer_factory = optimizer_factory or (lambda params: SGD(params, lr=0.01))
+
+        # Initial model: every device starts from identical weights
+        # (HADFL workflow step "synchronize the initial models").
+        self._eval_model = model_factory(np.random.default_rng(seed))
+        self.codec = FlatParamCodec(self._eval_model)
+        self.initial_params = self.codec.flatten(self._eval_model)
+        self.model_nbytes = self.codec.nbytes
+        self._loss_fn = CrossEntropyLoss()
+
+        shards = self._make_shards(partition, dirichlet_alpha)
+        self.devices: List[Device] = []
+        for spec, shard in zip(self.specs, shards):
+            device_rng = np.random.default_rng(
+                np.random.SeedSequence([seed, spec.device_id])
+            )
+            model = model_factory(np.random.default_rng(seed))
+            device = Device(
+                spec=spec,
+                model=model,
+                optimizer=optimizer_factory(model.parameters()),
+                cycler=BatchCycler(
+                    Subset(train_set, shard), batch_size, rng=device_rng
+                ),
+                lr_schedule=lr_schedule,
+                seed=int(device_rng.integers(0, 2**31 - 1)),
+            )
+            device.set_params(self.initial_params)
+            self.devices.append(device)
+
+    # ------------------------------------------------------------------ #
+    def _make_shards(self, partition, dirichlet_alpha) -> List[np.ndarray]:
+        k = len(self.specs)
+        if isinstance(partition, str):
+            part_rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, 0xDA7A])
+            )
+            if partition == "iid":
+                return partition_iid(len(self.train_set), k, rng=part_rng)
+            if partition == "dirichlet":
+                return partition_dirichlet(
+                    self.train_set.labels, k, alpha=dirichlet_alpha, rng=part_rng
+                )
+            raise ValueError(f"unknown partition scheme {partition!r}")
+        shards = [np.asarray(p) for p in partition]
+        if len(shards) != k:
+            raise ValueError(f"{len(shards)} shards for {k} devices")
+        return shards
+
+    # ------------------------------------------------------------------ #
+    @property
+    def device_ids(self) -> List[int]:
+        return [d.device_id for d in self.devices]
+
+    def device_by_id(self, device_id: int) -> Device:
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        raise KeyError(f"no device with id {device_id}")
+
+    def alive_devices(self, time: float) -> List[Device]:
+        return [
+            d for d in self.devices if self.failures.is_alive(d.device_id, time)
+        ]
+
+    @property
+    def total_train_samples(self) -> int:
+        return len(self.train_set)
+
+    def global_epoch(self) -> float:
+        """Aggregate data passes: total samples consumed / dataset size.
+
+        With the paper's even 4-way split, one global epoch corresponds to
+        every device finishing one pass over its shard.
+        """
+        consumed = sum(d.cycler.samples_consumed for d in self.devices)
+        return consumed / self.total_train_samples
+
+    def mean_local_version(self) -> float:
+        return float(np.mean([d.version for d in self.devices]))
+
+    # ------------------------------------------------------------------ #
+    def evaluate_params(
+        self, flat: np.ndarray, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """Test-set (loss, accuracy) of a flat parameter vector."""
+        self.codec.unflatten(self._eval_model, flat)
+        self._eval_model.eval()
+        features = self.test_set.features
+        labels = self.test_set.labels
+        total_loss, correct, count = 0.0, 0.0, 0
+        with no_grad():
+            for start in range(0, len(features), batch_size):
+                fb = features[start : start + batch_size]
+                lb = labels[start : start + batch_size]
+                logits = self._eval_model(Tensor(fb))
+                total_loss += float(self._loss_fn(logits, lb).data) * len(lb)
+                correct += accuracy(logits, lb) * len(lb)
+                count += len(lb)
+        return total_loss / count, correct / count
+
+    def mean_device_params(self, device_ids: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Average of the (selected) devices' current parameters."""
+        targets = (
+            self.devices
+            if device_ids is None
+            else [self.device_by_id(i) for i in device_ids]
+        )
+        return np.mean([d.get_params() for d in targets], axis=0)
+
+    def reset(self) -> None:
+        """Restore every device to the initial model and zero the clocks."""
+        for device in self.devices:
+            device.set_params(self.initial_params)
+            device.version = 0
+            device.busy_until = 0.0
+            if hasattr(device.optimizer, "reset_state"):
+                device.optimizer.reset_state()

@@ -1,0 +1,275 @@
+"""A simulated training device: real SGD, virtual wall-clock.
+
+Each device owns a local model replica, optimizer, and data shard.  Its
+*computing power* scales the virtual time a local step costs — replacing
+the paper's ``sleep()``-based throttling of real V100s ("use the sleep()
+function to simulate different degrees of heterogeneity and use an array
+to represent the computing power ratio", Sec. IV-A).  Gradients, losses
+and accuracies are real (NumPy) numbers; only time is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.comm.params import FlatParamCodec
+from repro.data.loader import BatchCycler
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.optim.base import Optimizer
+from repro.optim.lr_schedules import LRSchedule
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a device's compute behaviour.
+
+    Parameters
+    ----------
+    device_id:
+        Unique integer id.
+    power:
+        Relative computing power; a power-2 device finishes a step in half
+        the virtual time of a power-1 device (the paper's ratio arrays,
+        e.g. ``[3, 3, 1, 1]``).
+    base_step_time:
+        Virtual seconds one local step costs a power-1 device.
+    jitter:
+        Sigma of multiplicative lognormal noise on per-step time; models
+        the runtime disturbance that motivates the version predictor
+        ("the system may be disturbed during training, causing varying
+        training time", Sec. III-B).
+    power_drift:
+        Optional ``time -> multiplier`` callable; effective power is
+        ``power * power_drift(t)``.  Used by the predictor ablation.
+    """
+
+    device_id: int
+    power: float = 1.0
+    base_step_time: float = 0.1
+    jitter: float = 0.0
+    power_drift: Optional[Callable[[float], float]] = None
+
+    def __post_init__(self):
+        if self.power <= 0:
+            raise ValueError(f"power must be positive, got {self.power}")
+        if self.base_step_time <= 0:
+            raise ValueError(
+                f"base_step_time must be positive, got {self.base_step_time}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+
+
+@dataclass
+class LocalTrainResult:
+    """Outcome of a burst of local steps."""
+
+    steps: int
+    elapsed: float
+    mean_loss: float
+    losses: List[float] = field(default_factory=list)
+
+
+class Device:
+    """A federated device: local replica + shard + virtual clock.
+
+    The ``version`` counter is the paper's parameter version ``v_{i,j}``:
+    the number of local update steps the device has applied since the
+    initial model synchronisation.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        model: Module,
+        optimizer: Optimizer,
+        cycler: BatchCycler,
+        lr_schedule: Optional[LRSchedule] = None,
+        loss_fn: Optional[Module] = None,
+        seed: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.model = model
+        self.optimizer = optimizer
+        self.cycler = cycler
+        self.lr_schedule = lr_schedule
+        self.loss_fn = loss_fn or CrossEntropyLoss()
+        self.codec = FlatParamCodec(model)
+        self.version = 0
+        self.busy_until = 0.0
+        self._rng = np.random.default_rng(
+            spec.device_id * 7919 + 13 if seed is None else seed
+        )
+
+    # ------------------------------------------------------------------ #
+    # Identity & timing
+    # ------------------------------------------------------------------ #
+    @property
+    def device_id(self) -> int:
+        return self.spec.device_id
+
+    def effective_power(self, at_time: float) -> float:
+        power = self.spec.power
+        if self.spec.power_drift is not None:
+            power *= self.spec.power_drift(at_time)
+        if power <= 0:
+            raise ValueError(
+                f"power_drift produced non-positive power at t={at_time}"
+            )
+        return power
+
+    def step_time(self, at_time: float = 0.0) -> float:
+        """Virtual duration of one local step (with jitter, if any)."""
+        base = self.spec.base_step_time / self.effective_power(at_time)
+        if self.spec.jitter:
+            base *= float(self._rng.lognormal(mean=0.0, sigma=self.spec.jitter))
+        return base
+
+    def epoch_time(self, at_time: float = 0.0) -> float:
+        """Expected virtual duration of one pass over the local shard."""
+        return self.cycler.batches_per_epoch * (
+            self.spec.base_step_time / self.effective_power(at_time)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train_steps(self, num_steps: int, start_time: float = 0.0) -> LocalTrainResult:
+        """Run ``num_steps`` real SGD steps; return losses + virtual time.
+
+        The learning rate for each step comes from the device's schedule
+        evaluated at its cumulative ``version`` (global step index), so
+        warm-up behaves identically across devices.
+        """
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+        self.model.train()
+        losses: List[float] = []
+        elapsed = 0.0
+        for _ in range(num_steps):
+            if self.lr_schedule is not None:
+                self.optimizer.lr = self.lr_schedule(self.version)
+            features, labels = self.cycler.next_batch()
+            self.optimizer.zero_grad()
+            loss = self.loss_fn(self.model(Tensor(features)), labels)
+            loss.backward()
+            self.optimizer.step()
+            losses.append(float(loss.data))
+            elapsed += self.step_time(start_time + elapsed)
+            self.version += 1
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        self.busy_until = start_time + elapsed
+        return LocalTrainResult(
+            steps=num_steps, elapsed=elapsed, mean_loss=mean_loss, losses=losses
+        )
+
+    def train_until(
+        self,
+        deadline: float,
+        start_time: float,
+        max_steps: Optional[int] = None,
+    ) -> LocalTrainResult:
+        """Train until the next step would overshoot ``deadline`` (Alg. 1).
+
+        This is the heterogeneity-aware inner loop: each device fits as
+        many local steps as its computing power allows into the window
+        ``[start_time, deadline]`` ("if t >= T_sync * t_syn: ek = 0 ...",
+        Algorithm 1 lines 5–8).  ``max_steps`` optionally caps the count
+        at the strategy generator's assigned E_k.
+        """
+        if deadline < start_time:
+            raise ValueError(
+                f"deadline {deadline} precedes start_time {start_time}"
+            )
+        self.model.train()
+        losses: List[float] = []
+        elapsed = 0.0
+        while max_steps is None or len(losses) < max_steps:
+            duration = self.step_time(start_time + elapsed)
+            if start_time + elapsed + duration > deadline:
+                break
+            if self.lr_schedule is not None:
+                self.optimizer.lr = self.lr_schedule(self.version)
+            features, labels = self.cycler.next_batch()
+            self.optimizer.zero_grad()
+            loss = self.loss_fn(self.model(Tensor(features)), labels)
+            loss.backward()
+            self.optimizer.step()
+            losses.append(float(loss.data))
+            elapsed += duration
+            self.version += 1
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        self.busy_until = start_time + elapsed
+        return LocalTrainResult(
+            steps=len(losses), elapsed=elapsed, mean_loss=mean_loss, losses=losses
+        )
+
+    def measure_calculation_time(
+        self, warmup_epochs: int = 1, start_time: float = 0.0
+    ) -> Tuple[float, LocalTrainResult]:
+        """Mutual-negotiation phase: train warm-up epochs, report T_i.
+
+        The paper: each device "trains E_warm_up epochs using a small
+        learning rate ... and sends its calculation time in this phase to
+        the coordinator" (Sec. III-B).  Returns ``(T_i, result)``.
+        """
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        steps = warmup_epochs * self.cycler.batches_per_epoch
+        result = self.train_steps(steps, start_time=start_time)
+        return result.elapsed, result
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+    def get_params(self) -> np.ndarray:
+        return self.codec.flatten(self.model)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        self.codec.unflatten(self.model, flat)
+
+    def mix_params(self, incoming: np.ndarray, own_weight: float = 0.5) -> None:
+        """Blend an incoming model with the local one.
+
+        Unselected devices "integrate the received model parameters with
+        local parameters" after the broadcast (Sec. III-D); equal blending
+        is the natural reading and ``own_weight`` exposes the knob.
+        """
+        if not 0.0 <= own_weight <= 1.0:
+            raise ValueError(f"own_weight must be in [0, 1], got {own_weight}")
+        current = self.get_params()
+        self.set_params(own_weight * current + (1.0 - own_weight) * incoming)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation (instrumentation only: costs no virtual time)
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, features: np.ndarray, labels: np.ndarray, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """Mean loss and accuracy of the local model on given data."""
+        self.model.eval()
+        total_loss = 0.0
+        correct = 0.0
+        count = 0
+        with no_grad():
+            for start in range(0, len(features), batch_size):
+                fb = features[start : start + batch_size]
+                lb = labels[start : start + batch_size]
+                logits = self.model(Tensor(fb))
+                loss = self.loss_fn(logits, lb)
+                total_loss += float(loss.data) * len(lb)
+                correct += accuracy(logits, lb) * len(lb)
+                count += len(lb)
+        self.model.train()
+        return total_loss / count, correct / count
+
+    def __repr__(self) -> str:
+        return (
+            f"Device(id={self.device_id}, power={self.spec.power}, "
+            f"version={self.version})"
+        )

@@ -1,0 +1,104 @@
+"""Failure injection: scheduled and random device disconnect windows.
+
+Models the paper's third challenge — "the geographic distribution of
+devices ... brings high communication unreliability.  If the system cannot
+handle the suddenly disconnected device well, its performance will suffer
+a great loss" (Sec. I) — as time windows during which a device neither
+computes nor answers messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FailureWindow:
+    """A closed-open interval [down_at, up_at) during which a device is dead."""
+
+    device_id: int
+    down_at: float
+    up_at: float = float("inf")
+
+    def __post_init__(self):
+        if self.down_at < 0:
+            raise ValueError(f"down_at must be non-negative, got {self.down_at}")
+        if self.up_at <= self.down_at:
+            raise ValueError(
+                f"up_at ({self.up_at}) must be after down_at ({self.down_at})"
+            )
+
+    def covers(self, time: float) -> bool:
+        return self.down_at <= time < self.up_at
+
+
+class FailureInjector:
+    """Answers "is device d alive at time t?" from a set of windows."""
+
+    def __init__(self, windows: Sequence[FailureWindow] = ()):
+        self._windows: Dict[int, List[FailureWindow]] = {}
+        for window in windows:
+            self.add_window(window)
+
+    def add_window(self, window: FailureWindow) -> None:
+        self._windows.setdefault(window.device_id, []).append(window)
+
+    def fail(self, device_id: int, down_at: float, up_at: float = float("inf")) -> None:
+        """Convenience: schedule a disconnect for ``device_id``."""
+        self.add_window(FailureWindow(device_id, down_at, up_at))
+
+    def is_alive(self, device_id: int, time: float) -> bool:
+        return not any(w.covers(time) for w in self._windows.get(device_id, ()))
+
+    def alive_devices(self, device_ids: Sequence[int], time: float) -> List[int]:
+        return [d for d in device_ids if self.is_alive(d, time)]
+
+    def next_down_time(self, device_id: int, from_time: float) -> float:
+        """Earliest instant at or after ``from_time`` the device is dead.
+
+        Returns ``from_time`` itself when the device is already down, and
+        ``inf`` when no failure lies ahead.  Trainers use this to stop a
+        device's compute at the moment it disconnects mid-window.
+        """
+        windows = self._windows.get(device_id, ())
+        candidates = []
+        for window in windows:
+            if window.covers(from_time):
+                return from_time
+            if window.down_at >= from_time:
+                candidates.append(window.down_at)
+        return min(candidates, default=float("inf"))
+
+    def windows_for(self, device_id: int) -> List[FailureWindow]:
+        return list(self._windows.get(device_id, ()))
+
+    @classmethod
+    def random(
+        cls,
+        device_ids: Sequence[int],
+        horizon: float,
+        failure_rate: float,
+        mean_downtime: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "FailureInjector":
+        """Poisson failures: each device fails at ``failure_rate`` per unit
+        time and stays down for an exponential ``mean_downtime``."""
+        if failure_rate < 0 or mean_downtime <= 0:
+            raise ValueError("failure_rate must be >= 0, mean_downtime > 0")
+        rng = rng or np.random.default_rng()
+        injector = cls()
+        for device in device_ids:
+            t = 0.0
+            while True:
+                if failure_rate == 0:
+                    break
+                t += rng.exponential(1.0 / failure_rate)
+                if t >= horizon:
+                    break
+                downtime = rng.exponential(mean_downtime)
+                injector.fail(device, t, t + downtime)
+                t += downtime
+        return injector

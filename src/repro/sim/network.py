@@ -1,0 +1,180 @@
+"""Network cost models: latency + bandwidth pricing of every transfer.
+
+The paper's testbed connects GPUs over PCIe 3.0 x8 (~8 GB/s); devices in a
+real federated deployment would sit on much slower links.  The base model
+is the standard alpha-beta model: a transfer of ``n`` bytes costs
+``alpha + n / beta`` seconds.  Collective costs follow the classic ring
+formulas (Thakur et al.), the same used to reason about Horovod/DDP.
+
+:class:`HeterogeneousNetworkModel` implements the paper's stated future
+work ("optimize it by taking into account heterogeneous network
+bandwidth"): per-device link speeds, with collectives gated by the
+slowest participating link — which is what makes *bandwidth-aware device
+selection* (see :class:`repro.core.selection_ext.BandwidthAwareSelection`)
+pay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta transfer cost model.
+
+    Parameters
+    ----------
+    latency:
+        Per-message fixed cost in seconds (alpha).
+    bandwidth:
+        Link bandwidth in bytes/second (beta).
+    """
+
+    latency: float = 1e-3
+    bandwidth: float = 1e9
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    # ------------------------------------------------------------------ #
+    # Primitive transfers
+    # ------------------------------------------------------------------ #
+    def p2p_time(self, nbytes: float) -> float:
+        """One point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def sequential_sends_time(self, nbytes: float, count: int) -> float:
+        """``count`` back-to-back sends from one sender (linear broadcast)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return count * self.p2p_time(nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Collectives
+    # ------------------------------------------------------------------ #
+    def ring_allreduce_time(self, nbytes: float, num_nodes: int) -> float:
+        """Ring all-reduce (reduce-scatter + all-gather) on ``num_nodes``.
+
+        2*(K-1) steps, each moving a 1/K segment:
+        ``2 (K-1) (alpha + (n/K)/beta)`` — bandwidth-optimal, the schedule
+        PyTorch-DDP/Horovod use (paper baseline [12]).
+        """
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if num_nodes == 1:
+            return 0.0
+        steps = 2 * (num_nodes - 1)
+        return steps * (self.latency + (nbytes / num_nodes) / self.bandwidth)
+
+    def gossip_ring_time(self, nbytes: float, num_selected: int) -> float:
+        """Scatter-gather gossip among the ``N_p`` selected devices.
+
+        HADFL's partial synchronisation moves parameters around a directed
+        ring "in a gossip-based scatter-gather manner (similar to [12])"
+        (Sec. III-D) — cost-wise identical to a ring all-reduce restricted
+        to the selected set.
+        """
+        return self.ring_allreduce_time(nbytes, num_selected)
+
+    def broadcast_time(self, nbytes: float, num_receivers: int) -> float:
+        """Non-blocking linear broadcast from one source.
+
+        The *sender-side* occupancy is ``num_receivers`` sequential sends;
+        HADFL overlaps this with the next round's compute ("transmits the
+        latest model parameters to the unselected devices in a
+        non-blocking manner"), so callers typically charge the receivers,
+        not the critical path.
+        """
+        return self.sequential_sends_time(nbytes, num_receivers)
+
+    # ------------------------------------------------------------------ #
+    # Centralised baseline (for comparison reports)
+    # ------------------------------------------------------------------ #
+    def parameter_server_round_time(self, nbytes: float, num_devices: int) -> float:
+        """Upload + download through a central server (FedAvg's pattern).
+
+        The server serialises 2K messages of the full model — the
+        communication-pressure bottleneck HADFL removes (challenge 2 in
+        the paper's introduction).
+        """
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        return 2 * num_devices * self.p2p_time(nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Participant-aware variants (overridden by the heterogeneous model)
+    # ------------------------------------------------------------------ #
+    def p2p_time_between(self, src: int, dst: int, nbytes: float) -> float:
+        """Point-to-point cost between two named devices (uniform here)."""
+        return self.p2p_time(nbytes)
+
+    def ring_time_for(self, device_ids: Sequence[int], nbytes: float) -> float:
+        """Ring collective cost for a named participant set."""
+        return self.ring_allreduce_time(nbytes, len(device_ids))
+
+    def effective_bandwidth(self, device_id: int) -> float:
+        """Uplink bandwidth of a named device (uniform here)."""
+        return self.bandwidth
+
+
+@dataclass(frozen=True)
+class HeterogeneousNetworkModel(NetworkModel):
+    """Per-device link speeds (the paper's future-work network model).
+
+    Parameters
+    ----------
+    latency, bandwidth:
+        Defaults for devices not listed in the per-device maps.
+    device_bandwidth:
+        Map device id → uplink bandwidth (bytes/s).
+    device_latency:
+        Map device id → per-message latency (s).
+
+    A transfer between two devices is gated by the slower endpoint; a
+    ring collective advances at the pace of its slowest participating
+    link — one throttled member drags the whole ring, which is exactly
+    why bandwidth-aware selection helps.
+    """
+
+    device_bandwidth: Dict[int, float] = field(default_factory=dict)
+    device_latency: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        super().__post_init__()
+        for device, bw in self.device_bandwidth.items():
+            if bw <= 0:
+                raise ValueError(f"bandwidth for device {device} must be positive")
+        for device, lat in self.device_latency.items():
+            if lat < 0:
+                raise ValueError(f"latency for device {device} must be non-negative")
+
+    def effective_bandwidth(self, device_id: int) -> float:
+        return self.device_bandwidth.get(device_id, self.bandwidth)
+
+    def effective_latency(self, device_id: int) -> float:
+        return self.device_latency.get(device_id, self.latency)
+
+    def p2p_time_between(self, src: int, dst: int, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        bandwidth = min(self.effective_bandwidth(src), self.effective_bandwidth(dst))
+        latency = max(self.effective_latency(src), self.effective_latency(dst))
+        return latency + nbytes / bandwidth
+
+    def ring_time_for(self, device_ids: Sequence[int], nbytes: float) -> float:
+        ids = list(device_ids)
+        if not ids:
+            raise ValueError("empty participant set")
+        if len(ids) == 1:
+            return 0.0
+        worst_bandwidth = min(self.effective_bandwidth(d) for d in ids)
+        worst_latency = max(self.effective_latency(d) for d in ids)
+        steps = 2 * (len(ids) - 1)
+        return steps * (worst_latency + (nbytes / len(ids)) / worst_bandwidth)

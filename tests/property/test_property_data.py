@@ -1,0 +1,82 @@
+"""Hypothesis property tests for data loading, cycling, and transforms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import ArrayDataset, BatchCycler, DataLoader
+from repro.data.transforms import compose, gaussian_noise, random_crop, random_horizontal_flip
+
+
+def _dataset(n):
+    return ArrayDataset(np.arange(n, dtype=float).reshape(n, 1), np.arange(n))
+
+
+class TestLoaderProperties:
+    @given(st.integers(1, 200), st.integers(1, 64), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_epoch_yields_every_sample_exactly_once(self, n, batch_size, shuffle):
+        loader = DataLoader(
+            _dataset(n), batch_size=batch_size, shuffle=shuffle,
+            rng=np.random.default_rng(0),
+        )
+        seen = np.concatenate([labels for _, labels in loader])
+        assert sorted(seen.tolist()) == list(range(n))
+
+    @given(st.integers(1, 200), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_drop_last_yields_full_batches_only(self, n, batch_size):
+        loader = DataLoader(
+            _dataset(n), batch_size=batch_size, drop_last=True,
+            rng=np.random.default_rng(0),
+        )
+        for _, labels in loader:
+            assert len(labels) == batch_size
+
+    @given(st.integers(2, 100), st.integers(1, 32), st.integers(1, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_cycler_consumption_accounting(self, n, batch_size, pulls):
+        cycler = BatchCycler(_dataset(n), batch_size, rng=np.random.default_rng(0))
+        for _ in range(pulls):
+            cycler.next_batch()
+        assert cycler.samples_consumed == pulls * cycler.batch_size
+        assert cycler.epochs_consumed == cycler.samples_consumed / n
+
+
+class TestTransformProperties:
+    images = st.integers(1, 8).flatmap(
+        lambda n: st.integers(2, 6).map(
+            lambda s: np.random.default_rng(n * 100 + s).normal(size=(n, 3, 2 * s, 2 * s))
+        )
+    )
+
+    @given(images)
+    @settings(max_examples=40, deadline=None)
+    def test_flip_is_involution(self, batch):
+        flip = random_horizontal_flip(1.0)
+        rng = np.random.default_rng(0)
+        twice = flip(flip(batch, rng), rng)
+        np.testing.assert_array_equal(twice, batch)
+
+    @given(images, st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_crop_preserves_shape_and_value_range(self, batch, padding):
+        out = random_crop(padding)(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+        # Reflect padding introduces no values outside the original range.
+        assert out.max() <= batch.max() + 1e-12
+        assert out.min() >= batch.min() - 1e-12
+
+    @given(images)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_noise_is_identity(self, batch):
+        out = gaussian_noise(0.0)(batch, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, batch)
+
+    @given(images)
+    @settings(max_examples=40, deadline=None)
+    def test_compose_associates(self, batch):
+        a = random_horizontal_flip(1.0)
+        b = gaussian_noise(0.0)
+        left = compose(compose(a, b), a)(batch, np.random.default_rng(0))
+        right = compose(a, compose(b, a))(batch, np.random.default_rng(0))
+        np.testing.assert_array_equal(left, right)

@@ -1,0 +1,103 @@
+"""Unit tests for the ablation harness + regression guards."""
+
+import numpy as np
+import pytest
+
+from repro.core import HADFLTrainer
+from repro.experiments import (
+    ExperimentConfig,
+    ablate_mix_weight,
+    ablate_num_selected,
+    ablate_predictor_alpha,
+    ablate_selection_policy,
+    ablate_tsync,
+)
+from repro.experiments.ablations import predictor_drift_error
+
+
+def _tiny_config(**overrides):
+    base = dict(
+        model="mlp",
+        num_train=160,
+        num_test=80,
+        image_size=8,
+        target_epochs=3.0,
+        seed=4,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestSelectionAblation:
+    def test_runs_all_policies(self):
+        results = ablate_selection_policy(
+            _tiny_config(), policies=("uniform", "worst")
+        )
+        assert set(results) == {"uniform", "worst"}
+        for result in results.values():
+            assert result.best_accuracy() > 0
+
+
+class TestNumSelectedAblation:
+    def test_values_clamped_to_device_count(self):
+        results = ablate_num_selected(_tiny_config(), values=(2, 4, 9))
+        assert set(results) == {2, 4}  # 9 > 4 devices → skipped
+
+    def test_selection_width_respected(self):
+        results = ablate_num_selected(_tiny_config(), values=(1, 3))
+        for num_selected, result in results.items():
+            for record in result.rounds:
+                assert len(record.selected) == num_selected
+
+
+class TestPredictorAblation:
+    def test_error_non_negative_and_finite(self):
+        error = predictor_drift_error(0.5, seed=0)
+        assert np.isfinite(error)
+        assert error >= 0
+
+    def test_modes_differ(self):
+        linear = predictor_drift_error(0.5, mode="linear", seed=0)
+        step = predictor_drift_error(0.5, mode="step", seed=0)
+        assert linear != step
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            predictor_drift_error(0.5, mode="chaos")
+
+    def test_sweep_covers_alphas(self):
+        errors = ablate_predictor_alpha(alphas=(0.2, 0.8), repeats=2)
+        assert set(errors) == {0.2, 0.8}
+
+    def test_zero_noise_linear_drift_low_error(self):
+        """Noise-free linear drift is exactly learnable by Brown's method."""
+        error = predictor_drift_error(0.5, jitter=0.0, drift_per_round=0.02)
+        assert error < 1.0
+
+
+class TestOtherSweeps:
+    def test_tsync_sweep(self):
+        results = ablate_tsync(_tiny_config(), values=(1, 2))
+        # Larger tsync → longer windows → fewer rounds for same epochs.
+        assert len(results[2].rounds) <= len(results[1].rounds)
+
+    def test_mix_weight_sweep(self):
+        results = ablate_mix_weight(_tiny_config(), values=(0.0, 0.5))
+        for result in results.values():
+            assert result.best_accuracy() > 0
+
+
+class TestBudgetRegression:
+    def test_round_throughput_does_not_collapse(self):
+        """Regression guard for the forecast-cap death spiral: per-round
+        epoch progress in a steady cluster must not decay over time
+        (it once ratcheted from 1.9 epochs/round down to 0.08)."""
+        config = _tiny_config(num_train=320, target_epochs=12.0)
+        trainer = HADFLTrainer(config.make_cluster(), params=config.hadfl_params())
+        result = trainer.run(target_epochs=12.0)
+        epochs = result.epochs()
+        deltas = np.diff(epochs)
+        assert len(deltas) >= 4
+        early = deltas[:2].mean()
+        late = deltas[-2:].mean()
+        assert late > 0.5 * early

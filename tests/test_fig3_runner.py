@@ -1,0 +1,68 @@
+"""Unit tests for the Fig. 3 runner/formatter (with canned + tiny runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_fig3
+from repro.experiments.fig3 import format_fig3
+from repro.metrics import RoundRecord, RunResult
+
+
+def _canned(scheme, accs):
+    result = RunResult(scheme=scheme)
+    for index, acc in enumerate(accs):
+        result.append(
+            RoundRecord(
+                round_index=index,
+                sim_time=float(index + 1),
+                global_epoch=float(index + 1),
+                train_loss=1.0 / (index + 1),
+                test_loss=0.4,
+                test_accuracy=acc,
+            )
+        )
+    return result
+
+
+class TestFormatFig3:
+    def test_three_panels_rendered(self):
+        results = {
+            "distributed": _canned("distributed", [0.3, 0.6]),
+            "hadfl": _canned("hadfl", [0.4, 0.7]),
+        }
+        text = format_fig3(results, "demo_model")
+        assert text.count("Fig3:") == 3
+        assert "loss vs epoch" in text
+        assert "test accuracy vs epoch" in text
+        assert "test accuracy vs time" in text
+        assert "demo_model" in text
+
+
+class TestRunFig3:
+    @pytest.fixture(scope="class")
+    def tiny_results(self):
+        config = ExperimentConfig(
+            model="mlp", num_train=160, num_test=80, target_epochs=2.0, seed=8
+        )
+        return run_fig3(config, include_worst_case=True)
+
+    def test_all_series_present(self, tiny_results):
+        assert set(tiny_results) == {
+            "distributed",
+            "decentralized_fedavg",
+            "hadfl",
+            "hadfl_worst",
+        }
+
+    def test_series_nonempty_and_formattable(self, tiny_results):
+        for result in tiny_results.values():
+            assert len(result.rounds) >= 1
+            assert result.test_accuracies().size >= 1
+        assert "Fig3" in format_fig3(tiny_results, "mlp")
+
+    def test_without_worst_case(self):
+        config = ExperimentConfig(
+            model="mlp", num_train=160, num_test=80, target_epochs=1.0, seed=8
+        )
+        results = run_fig3(config, include_worst_case=False)
+        assert "hadfl_worst" not in results

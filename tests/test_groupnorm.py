@@ -1,0 +1,99 @@
+"""Tests for GroupNorm and the norm factory (the FL-friendly normaliser)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro import nn
+from repro.nn import models
+
+RNG = np.random.default_rng(41)
+
+
+class TestGroupNorm:
+    def test_normalizes_per_group_per_sample(self):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(RNG.normal(loc=3.0, scale=2.0, size=(5, 4, 3, 3)))
+        out = gn(x).data
+        grouped = out.reshape(5, 2, 2 * 9)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-7)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-3)
+
+    def test_batch_independence(self):
+        """Unlike BatchNorm, each sample's output ignores its batchmates."""
+        gn = nn.GroupNorm(1, 2)
+        single = RNG.normal(size=(1, 2, 4, 4))
+        alone = gn(Tensor(single)).data
+        batched = gn(
+            Tensor(np.concatenate([single, RNG.normal(size=(7, 2, 4, 4))]))
+        ).data[:1]
+        np.testing.assert_allclose(alone, batched, atol=1e-12)
+
+    def test_no_buffers(self):
+        """GroupNorm carries no running stats — nothing for federated
+        aggregation to average (the reason FL prefers it)."""
+        gn = nn.GroupNorm(2, 4)
+        assert list(gn.named_buffers()) == []
+        bn = nn.BatchNorm2d(4)
+        assert len(list(bn.named_buffers())) == 2
+
+    def test_gradcheck(self):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(RNG.normal(size=(2, 4, 2, 2)), requires_grad=True)
+        assert gradcheck(lambda t: gn(t), [x], atol=1e-4, rtol=1e-3)
+        assert gn.weight.grad is not None
+
+    def test_train_eval_identical(self):
+        gn = nn.GroupNorm(2, 4)
+        x = Tensor(RNG.normal(size=(3, 4, 2, 2)))
+        train_out = gn(x).data
+        gn.eval()
+        np.testing.assert_allclose(gn(x).data, train_out)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(0, 4)
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)  # not divisible
+        gn = nn.GroupNorm(2, 4)
+        with pytest.raises(ValueError, match="NCHW"):
+            gn(Tensor(np.zeros((2, 4))))
+        with pytest.raises(ValueError, match="channels"):
+            gn(Tensor(np.zeros((1, 8, 2, 2))))
+
+
+class TestNormFactory:
+    def test_batch_kind(self):
+        assert isinstance(nn.make_norm("batch", 8), nn.BatchNorm2d)
+
+    def test_group_kind_divisor_logic(self):
+        gn = nn.make_norm("group", 12)
+        assert isinstance(gn, nn.GroupNorm)
+        assert 12 % gn.num_groups == 0
+        # Odd channel counts still get a valid divisor.
+        gn7 = nn.make_norm("group", 7)
+        assert 7 % gn7.num_groups == 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            nn.make_norm("layer", 8)
+
+
+class TestGroupNormResNet:
+    def test_builds_and_trains(self):
+        model = models.resnet_mini(rng=np.random.default_rng(0), norm="group")
+        norms = [m for m in model.modules() if isinstance(m, nn.GroupNorm)]
+        assert norms, "group norm variant must contain GroupNorm layers"
+        assert not any(isinstance(m, nn.BatchNorm2d) for m in model.modules())
+        loss = nn.CrossEntropyLoss()(
+            model(Tensor(RNG.normal(size=(2, 3, 8, 8)))), np.array([0, 1])
+        )
+        loss.backward()
+        assert model.fc.weight.grad is not None
+
+    def test_groupnorm_state_smaller_than_batchnorm(self):
+        bn_model = models.resnet_mini(rng=np.random.default_rng(0), norm="batch")
+        gn_model = models.resnet_mini(rng=np.random.default_rng(0), norm="group")
+        bn_state = len(bn_model.state_dict())
+        gn_state = len(gn_model.state_dict())
+        assert gn_state < bn_state  # no running-stat buffers to ship

@@ -1,0 +1,224 @@
+"""Tests for persistence (repro.io), transforms, CLI, centralized FedAvg."""
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.baselines import CentralizedFedAvgTrainer
+from repro.cli import build_parser, main
+from repro.data import ArrayDataset
+from repro.data.transforms import (
+    AugmentingCycler,
+    compose,
+    gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+from repro.experiments import ExperimentConfig, run_scheme
+from repro.metrics import RoundRecord, RunResult
+from repro.nn import models
+
+RNG = np.random.default_rng(31)
+
+
+def _tiny_config(**overrides):
+    base = dict(
+        model="mlp", num_train=160, num_test=80, image_size=8,
+        target_epochs=3.0, seed=6,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestModelCheckpoints:
+    def test_roundtrip_with_buffers(self, tmp_path):
+        model = models.SimpleCNN(image_size=8, width=4, rng=np.random.default_rng(0))
+        # Mutate BN running stats so buffers are non-trivial.
+        from repro.autograd import Tensor
+
+        model(Tensor(RNG.normal(size=(4, 3, 8, 8))))
+        path = io.save_model(model, tmp_path / "ckpt.npz")
+        other = models.SimpleCNN(image_size=8, width=4, rng=np.random.default_rng(9))
+        io.load_model(other, path)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(other.state_dict()[key], value)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        model = models.MLP(4, (4,), 2, rng=np.random.default_rng(0))
+        path = io.save_model(model, tmp_path / "deep" / "dir" / "m.npz")
+        assert path.exists()
+
+
+class TestResultPersistence:
+    def _result(self):
+        result = RunResult(scheme="hadfl", config={"tsync": 1})
+        result.append(
+            RoundRecord(
+                round_index=0, sim_time=1.5, global_epoch=1.0, train_loss=0.9,
+                test_loss=0.8, test_accuracy=0.5, selected=[0, 2],
+                versions={0: 10, 2: 4}, comm_bytes=128, bypasses=1,
+            )
+        )
+        result.append(
+            RoundRecord(
+                round_index=1, sim_time=3.0, global_epoch=2.0, train_loss=0.5,
+            )
+        )
+        return result
+
+    def test_json_roundtrip(self, tmp_path):
+        original = self._result()
+        path = io.save_result(original, tmp_path / "run.json")
+        loaded = io.load_result(path)
+        assert loaded.scheme == "hadfl"
+        assert len(loaded.rounds) == 2
+        assert loaded.rounds[0].versions == {0: 10, 2: 4}
+        assert loaded.rounds[0].selected == [0, 2]
+        assert loaded.rounds[1].test_accuracy is None
+        np.testing.assert_allclose(loaded.times(), original.times())
+
+    def test_directory_roundtrip(self, tmp_path):
+        family = {"a": self._result(), "b": self._result()}
+        io.save_results(family, tmp_path / "runs")
+        loaded = io.load_results(tmp_path / "runs")
+        assert set(loaded) == {"a", "b"}
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            io.load_results(tmp_path / "nope")
+
+
+class TestTransforms:
+    def _batch(self, n=8):
+        return RNG.normal(size=(n, 3, 8, 8))
+
+    def test_flip_preserves_shape_and_pixels(self):
+        batch = self._batch()
+        out = random_horizontal_flip(1.0)(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_flip_probability_zero_identity(self):
+        batch = self._batch()
+        out = random_horizontal_flip(0.0)(batch, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, batch)
+
+    def test_crop_shape_preserved(self):
+        batch = self._batch()
+        out = random_crop(2)(batch, np.random.default_rng(0))
+        assert out.shape == batch.shape
+
+    def test_noise_changes_pixels(self):
+        batch = self._batch()
+        out = gaussian_noise(0.1)(batch, np.random.default_rng(0))
+        assert np.abs(out - batch).max() > 0
+
+    def test_compose_order(self):
+        batch = self._batch()
+        both = compose(random_horizontal_flip(1.0), gaussian_noise(0.0))
+        out = both(batch, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, batch[:, :, :, ::-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(2.0)
+        with pytest.raises(ValueError):
+            random_crop(0)
+        with pytest.raises(ValueError):
+            gaussian_noise(-1.0)
+
+    def test_augmenting_cycler(self):
+        data = ArrayDataset(RNG.normal(size=(20, 3, 8, 8)), np.zeros(20, dtype=int))
+        cycler = AugmentingCycler(
+            data, batch_size=4,
+            transform=gaussian_noise(0.5),
+            rng=np.random.default_rng(0),
+        )
+        features, labels = cycler.next_batch()
+        assert features.shape == (4, 3, 8, 8)
+        assert cycler.samples_consumed == 4
+
+
+class TestCentralizedFedAvg:
+    def test_converges_and_counts_server_bytes(self):
+        config = _tiny_config()
+        cluster = config.make_cluster()
+        trainer = CentralizedFedAvgTrainer(cluster)
+        result = trainer.run(target_epochs=3)
+        assert result.best_accuracy() > 0.3
+        # Sec. II-B: every round moves exactly 2KM through the server.
+        expected = 2 * len(cluster.devices) * cluster.model_nbytes
+        for record in result.rounds:
+            assert record.comm_bytes == expected
+        assert trainer.server_bytes == expected * len(result.rounds)
+
+    def test_server_serialisation_slower_than_decentralized(self):
+        """The server round (2K sequential sends) must cost more wall time
+        than the ring gossip — the paper's challenge-2 bottleneck."""
+        from repro.baselines import DecentralizedFedAvgTrainer
+
+        config = _tiny_config()
+        central = CentralizedFedAvgTrainer(config.make_cluster())
+        decentralized = DecentralizedFedAvgTrainer(config.make_cluster())
+        r_central = central.run(target_epochs=2)
+        r_dec = decentralized.run(target_epochs=2)
+        assert r_central.total_time > r_dec.total_time
+
+    def test_weighted_by_shard_size(self):
+        config = _tiny_config()
+        cluster = config.make_cluster()
+        trainer = CentralizedFedAvgTrainer(cluster, local_steps=1)
+        trainer.run(target_epochs=0.5)
+        # All devices end the round with the same global model.
+        reference = cluster.devices[0].get_params()
+        for device in cluster.devices[1:]:
+            np.testing.assert_allclose(device.get_params(), reference)
+
+    def test_invalid_local_steps(self):
+        with pytest.raises(ValueError):
+            CentralizedFedAvgTrainer(_tiny_config().make_cluster(), local_steps=0)
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet_mini" in out
+        assert "hadfl" in out
+
+    def test_run_and_save(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "--scheme", "hadfl", "--model", "mlp",
+                "--train", "160", "--test", "80", "--epochs", "2",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert (tmp_path / "hadfl.json").exists()
+        loaded = io.load_result(tmp_path / "hadfl.json")
+        assert loaded.scheme == "hadfl"
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare", "--model", "mlp", "--train", "160", "--test", "80",
+                "--epochs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distributed" in out
+        assert "accuracy vs virtual time" in out
+
+    def test_bad_ratio_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--ratio", "3,oops"])
+
+    def test_bad_scheme_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--scheme", "magic"])

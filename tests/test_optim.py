@@ -1,0 +1,186 @@
+"""Unit tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro import nn
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    CosineSchedule,
+    StepSchedule,
+    WarmupSchedule,
+)
+
+RNG = np.random.default_rng(11)
+
+
+def _param_with_grad(value, grad):
+    p = Parameter(np.array(value, dtype=float))
+    p.grad = np.array(grad, dtype=float)
+    return p
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = _param_with_grad([1.0, 2.0], [0.5, 0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95])
+
+    def test_momentum_accumulates(self):
+        p = _param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()  # buf=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # buf=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = _param_with_grad([2.0], [0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_nesterov_differs_from_heavy_ball(self):
+        p1 = _param_with_grad([0.0], [1.0])
+        p2 = _param_with_grad([0.0], [1.0])
+        o1 = SGD([p1], lr=1.0, momentum=0.9)
+        o2 = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        o1.step()
+        o2.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+    def test_reset_state_clears_momentum(self):
+        p = _param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()
+        opt.reset_state()
+        p.grad = np.array([1.0])
+        opt.step()
+        # Without history the second step is a plain -lr*grad from -1.0.
+        np.testing.assert_allclose(p.data, [-2.0])
+
+    def test_zero_grad(self):
+        p = _param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_state_dict_roundtrip(self):
+        p = _param_with_grad([0.0], [1.0])
+        opt = SGD([p], lr=0.5, momentum=0.9)
+        opt.step()
+        state = opt.state_dict()
+        other = SGD([p], lr=0.1, momentum=0.9)
+        other.load_state_dict(state)
+        assert other.lr == 0.5
+        np.testing.assert_allclose(other._buffers[0], opt._buffers[0])
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # Bias correction makes the very first Adam step ≈ lr * sign(grad).
+        p = _param_with_grad([0.0], [3.0])
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_decreases_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.grad = 2 * p.data  # d(x^2)/dx
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_reset_state(self):
+        p = _param_with_grad([0.0], [1.0])
+        opt = Adam([p])
+        opt.step()
+        opt.reset_state()
+        assert opt._t == 0
+        assert np.all(opt._m[0] == 0)
+
+
+class TestEndToEndTraining:
+    def test_sgd_trains_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0], [-3.0]])
+        X = rng.normal(size=(128, 2))
+        y = X @ true_w
+        model = nn.Linear(2, 1, rng=rng)
+        opt = SGD(model.parameters(), lr=0.1)
+        loss_fn = nn.MSELoss()
+        for _ in range(200):
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(X)), y)
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(model.weight.data, true_w.T, atol=1e-2)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantSchedule(0.01)
+        assert sched(0) == sched(1000) == 0.01
+
+    def test_step_decay(self):
+        sched = StepSchedule(1.0, step_size=10, gamma=0.1)
+        assert sched(0) == 1.0
+        assert sched(10) == pytest.approx(0.1)
+        assert sched(25) == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        sched = CosineSchedule(1.0, total_steps=100, min_lr=0.0)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(100) == pytest.approx(0.0, abs=1e-12)
+        assert sched(50) == pytest.approx(0.5)
+
+    def test_cosine_clamps_past_end(self):
+        sched = CosineSchedule(1.0, total_steps=10)
+        assert sched(1000) == sched(10)
+
+    def test_warmup_ramp(self):
+        sched = WarmupSchedule(ConstantSchedule(0.01), warmup_steps=10, warmup_lr=0.001)
+        assert sched(0) == pytest.approx(0.001)
+        assert sched(10) == pytest.approx(0.01)
+        assert sched(5) == pytest.approx(0.001 + 0.5 * 0.009)
+        assert sched(100) == 0.01
+
+    def test_warmup_zero_steps_passthrough(self):
+        sched = WarmupSchedule(ConstantSchedule(0.05), warmup_steps=0)
+        assert sched(0) == 0.05
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantSchedule(0.01), warmup_steps=-1)
+
+    def test_invalid_schedule_params(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(-1.0)
+        with pytest.raises(ValueError):
+            StepSchedule(0.1, step_size=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(0.1, total_steps=0)

@@ -1,0 +1,161 @@
+"""Unit tests for the fault-tolerant ring synchronisation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.comm import FaultTolerantRingSync
+from repro.sim import FailureInjector, NetworkModel, Simulator, TraceRecorder
+
+NET = NetworkModel(latency=1e-3, bandwidth=1e8)
+PAYLOAD = 40_000  # bytes
+
+
+def _vectors(ids):
+    return {i: np.full(10, float(i)) for i in ids}
+
+
+def _alive_fn(injector):
+    return lambda device, time: injector.is_alive(device, time)
+
+
+class TestHealthyRing:
+    def test_aggregates_mean_of_all(self):
+        sim = Simulator()
+        sync = FaultTolerantRingSync(NET)
+        ring = [0, 1, 2, 3]
+        result = sync.run(
+            sim, ring, _vectors(ring), lambda d, t: True, PAYLOAD
+        )
+        assert result.survivors == ring
+        np.testing.assert_allclose(result.aggregated, np.full(10, 1.5))
+        assert not result.had_failures
+
+    def test_duration_matches_gossip_time(self):
+        sim = Simulator()
+        sync = FaultTolerantRingSync(NET)
+        result = sync.run(sim, [0, 1, 2], _vectors([0, 1, 2]), lambda d, t: True, PAYLOAD)
+        assert result.duration == pytest.approx(NET.gossip_ring_time(PAYLOAD, 3))
+
+    def test_starts_at_sim_now(self):
+        sim = Simulator(start_time=42.0)
+        sync = FaultTolerantRingSync(NET)
+        result = sync.run(sim, [0, 1], _vectors([0, 1]), lambda d, t: True, PAYLOAD)
+        assert result.start_time == 42.0
+        assert result.completion_time > 42.0
+
+    def test_bytes_accounted(self):
+        sim = Simulator()
+        sync = FaultTolerantRingSync(NET)
+        result = sync.run(sim, [0, 1, 2, 3], _vectors(range(4)), lambda d, t: True, PAYLOAD)
+        assert result.bytes_sent > 0
+
+
+class TestSingleFailure:
+    def test_paper_example_device2_bypassed(self):
+        """The exact scenario of Fig. 2(b): device 2 dies; 3 detects,
+        handshakes, warns 1; ring becomes 0→1→3→0."""
+        injector = FailureInjector()
+        injector.fail(2, down_at=0.0)
+        sim = Simulator()
+        trace = TraceRecorder()
+        sync = FaultTolerantRingSync(NET, wait_time=0.05)
+        result = sync.run(
+            sim, [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD,
+            trace=trace,
+        )
+        assert result.survivors == [0, 1, 3]
+        np.testing.assert_allclose(result.aggregated, np.full(10, (0 + 1 + 3) / 3))
+        assert result.bypasses == [(1, 2, 3)]
+        assert len(trace.events("handshake_no_reply")) == 1
+        assert len(trace.events("warning_sent")) == 1
+        assert len(trace.events("bypass_established")) == 1
+
+    def test_failure_adds_wait_time_to_duration(self):
+        injector = FailureInjector()
+        injector.fail(2, down_at=0.0)
+        healthy = FaultTolerantRingSync(NET, wait_time=0.05).run(
+            Simulator(), [0, 1, 3], _vectors([0, 1, 3]), lambda d, t: True, PAYLOAD
+        )
+        repaired = FaultTolerantRingSync(NET, wait_time=0.05).run(
+            Simulator(), [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD
+        )
+        assert repaired.duration > healthy.duration
+        assert repaired.duration > 0.05  # at least the waiting time
+
+    def test_recovered_device_participates_again(self):
+        injector = FailureInjector()
+        injector.fail(2, down_at=0.0, up_at=10.0)
+        sim = Simulator(start_time=20.0)  # after recovery
+        result = FaultTolerantRingSync(NET).run(
+            sim, [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD
+        )
+        assert result.survivors == [0, 1, 2, 3]
+
+
+class TestMultipleFailures:
+    def test_consecutive_dead_devices_walked_past(self):
+        injector = FailureInjector()
+        injector.fail(1, down_at=0.0)
+        injector.fail(2, down_at=0.0)
+        trace = TraceRecorder()
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD,
+            trace=trace,
+        )
+        assert result.survivors == [0, 3]
+        # Device 3 walks past 2 then 1: two handshakes, two warnings.
+        assert len(trace.events("handshake_no_reply")) == 2
+        assert {b[1] for b in result.bypasses} == {1, 2}
+        np.testing.assert_allclose(result.aggregated, np.full(10, 1.5))
+
+    def test_nonadjacent_failures(self):
+        injector = FailureInjector()
+        injector.fail(1, down_at=0.0)
+        injector.fail(3, down_at=0.0)
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD
+        )
+        assert result.survivors == [0, 2]
+        assert len(result.bypasses) == 2
+
+    def test_single_survivor_degenerate(self):
+        injector = FailureInjector()
+        for d in (0, 1, 2):
+            injector.fail(d, down_at=0.0)
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD
+        )
+        assert result.survivors == [3]
+        np.testing.assert_allclose(result.aggregated, np.full(10, 3.0))
+        assert result.duration == 0.0
+
+    def test_all_dead_returns_empty(self):
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1], _vectors([0, 1]), lambda d, t: False, PAYLOAD
+        )
+        assert result.survivors == []
+        assert result.aggregated is None
+
+
+class TestValidation:
+    def test_duplicate_ring_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultTolerantRingSync(NET).run(
+                Simulator(), [0, 0], _vectors([0]), lambda d, t: True, PAYLOAD
+            )
+
+    def test_missing_vector(self):
+        with pytest.raises(ValueError, match="no parameter vector"):
+            FaultTolerantRingSync(NET).run(
+                Simulator(), [0, 1], _vectors([0]), lambda d, t: True, PAYLOAD
+            )
+
+    def test_empty_ring(self):
+        with pytest.raises(ValueError, match="empty ring"):
+            FaultTolerantRingSync(NET).run(
+                Simulator(), [], {}, lambda d, t: True, PAYLOAD
+            )
+
+    def test_invalid_wait_time(self):
+        with pytest.raises(ValueError):
+            FaultTolerantRingSync(NET, wait_time=0.0)
