@@ -1,0 +1,323 @@
+"""Hot-path microbenchmark: flat arena + fused optimizers vs seed paths.
+
+Times the three bookkeeping hot spots the flat parameter arena removes,
+each against a faithful re-implementation of the seed (pre-arena) code:
+
+* **codec round-trip** — full model state out and back in.  Seed: per-
+  parameter ``np.concatenate`` + ``.copy()`` + ``dict(named_parameters)``
+  and ``_buffer_owners()`` rebuilt on every call.  Arena: one vectorized
+  copy out, one vectorized write back.
+* **optimizer step** — SGD (momentum + weight decay) and Adam.  Seed:
+  per-parameter Python loop allocating fresh temporaries.  Fused: flat
+  gather + a fixed number of in-place full-vector ops.
+* **one full HADFL round** — ``HADFLTrainer`` on a tiny cluster, stock
+  vs devices patched back onto the seed codec path with fused kernels
+  disabled.  Also checks the fixed-seed loss trajectories are identical,
+  the bit-for-bit guarantee the refactor makes.
+
+Writes machine-readable results to ``benchmarks/results/hotpath.json``
+(see ``benchmarks/run_bench.py`` for the repo-root ``BENCH_hotpath.json``
+trajectory artefact).  Scale via ``REPRO_BENCH_HOTPATH_REPEATS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm.params import ParamArena
+from repro.core.config import HADFLParams
+from repro.core.trainer import HADFLTrainer
+from repro.data import synthetic_cifar10
+from repro.nn import models
+from repro.optim import SGD, Adam
+from repro.sim import Device, DeviceSpec, SimulatedCluster
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+# --------------------------------------------------------------------- #
+# Seed (pre-arena) reference implementations, replicated verbatim from
+# the original ``FlatParamCodec``/optimizer code paths.
+# --------------------------------------------------------------------- #
+
+
+def seed_flatten(module) -> np.ndarray:
+    chunks = [param.data.reshape(-1) for _, param in module.named_parameters()]
+    chunks.extend(buf.reshape(-1) for _, buf in module.named_buffers())
+    return np.concatenate(chunks) if chunks else np.empty(0)
+
+
+def seed_unflatten(module, flat: np.ndarray) -> None:
+    flat = np.asarray(flat)
+    cursor = 0
+    params = dict(module.named_parameters())
+    for name, param in params.items():
+        size = int(param.data.size)
+        param.data = flat[cursor : cursor + size].reshape(param.data.shape).copy()
+        cursor += size
+    owners = module._buffer_owners()
+    for name, _ in list(module.named_buffers()):
+        owner, local = owners[name]
+        buf = owner._buffers[local]
+        size = int(buf.size)
+        owner.set_buffer(local, flat[cursor : cursor + size].reshape(buf.shape))
+        cursor += size
+
+
+def seed_sgd_step(params, lr, momentum, weight_decay, buffers):
+    for index, param in enumerate(params):
+        grad = param.grad
+        if weight_decay:
+            grad = grad + weight_decay * param.data
+        if momentum:
+            buf = buffers[index]
+            if buf is None:
+                buf = grad.copy()
+            else:
+                buf *= momentum
+                buf += grad
+            buffers[index] = buf
+            grad = buf
+        param.data -= lr * grad
+
+
+def seed_adam_step(params, lr, beta1, beta2, eps, state):
+    state["t"] += 1
+    t = state["t"]
+    for index, param in enumerate(params):
+        grad = param.grad
+        m, v = state["m"][index], state["v"][index]
+        m *= beta1
+        m += (1 - beta1) * grad
+        v *= beta2
+        v += (1 - beta2) * grad**2
+        m_hat = m / (1 - beta1**t)
+        v_hat = v / (1 - beta2**t)
+        param.data -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+@contextmanager
+def legacy_device_paths():
+    """Route every Device through the seed codec path (no arena reads)."""
+
+    def legacy_get(self):
+        return seed_flatten(self.model)
+
+    def legacy_set(self, flat):
+        seed_unflatten(self.model, flat)
+
+    def legacy_mix(self, incoming, own_weight=0.5):
+        if not 0.0 <= own_weight <= 1.0:
+            raise ValueError(f"own_weight must be in [0, 1], got {own_weight}")
+        current = seed_flatten(self.model)
+        seed_unflatten(
+            self.model, own_weight * current + (1.0 - own_weight) * incoming
+        )
+
+    saved = (
+        Device.get_params,
+        Device.get_params_view,
+        Device.set_params,
+        Device.mix_params,
+    )
+    Device.get_params = legacy_get
+    Device.get_params_view = legacy_get
+    Device.set_params = legacy_set
+    Device.mix_params = legacy_mix
+    try:
+        yield
+    finally:
+        (
+            Device.get_params,
+            Device.get_params_view,
+            Device.set_params,
+            Device.mix_params,
+        ) = saved
+
+
+# --------------------------------------------------------------------- #
+# Timing helpers
+# --------------------------------------------------------------------- #
+
+
+def _best_of(fn, repeats: int, inner: int) -> float:
+    """Best per-call seconds over ``repeats`` trials of ``inner`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _make_model(seed=0):
+    return models.resnet_mini(num_classes=10, rng=np.random.default_rng(seed))
+
+
+def _seeded_grads(model, seed=7):
+    rng = np.random.default_rng(seed)
+    for param in model.parameters():
+        param.grad = rng.normal(size=param.data.shape)
+
+
+# --------------------------------------------------------------------- #
+# Benchmarks
+# --------------------------------------------------------------------- #
+
+
+def bench_codec(repeats: int, inner: int) -> dict:
+    legacy_model = _make_model(0)
+    arena_model = _make_model(0)
+    arena = ParamArena(arena_model)
+    probe = seed_flatten(legacy_model)
+
+    def legacy_roundtrip():
+        flat = seed_flatten(legacy_model)
+        seed_unflatten(legacy_model, flat)
+
+    def arena_roundtrip():
+        flat = arena.snapshot()
+        arena.write(flat)
+
+    seed_s = _best_of(legacy_roundtrip, repeats, inner)
+    arena_s = _best_of(arena_roundtrip, repeats, inner)
+    np.testing.assert_array_equal(arena.snapshot(), probe)
+    return {
+        "num_scalars": int(probe.size),
+        "seed_s": seed_s,
+        "arena_s": arena_s,
+        "speedup": seed_s / arena_s,
+    }
+
+
+def bench_sgd(repeats: int, inner: int) -> dict:
+    lr, momentum, wd = 0.01, 0.9, 1e-4
+    legacy_model = _make_model(1)
+    fused_model = _make_model(1)
+    ParamArena(fused_model)
+    _seeded_grads(legacy_model)
+    _seeded_grads(fused_model)
+    legacy_params = legacy_model.parameters()
+    legacy_buffers = [None] * len(legacy_params)
+    fused_opt = SGD(fused_model.parameters(), lr=lr, momentum=momentum, weight_decay=wd)
+
+    seed_s = _best_of(
+        lambda: seed_sgd_step(legacy_params, lr, momentum, wd, legacy_buffers),
+        repeats,
+        inner,
+    )
+    fused_s = _best_of(fused_opt.step, repeats, inner)
+    return {"seed_s": seed_s, "fused_s": fused_s, "speedup": seed_s / fused_s}
+
+
+def bench_adam(repeats: int, inner: int) -> dict:
+    lr, beta1, beta2, eps = 1e-3, 0.9, 0.999, 1e-8
+    legacy_model = _make_model(2)
+    fused_model = _make_model(2)
+    ParamArena(fused_model)
+    _seeded_grads(legacy_model)
+    _seeded_grads(fused_model)
+    legacy_params = legacy_model.parameters()
+    legacy_state = {
+        "t": 0,
+        "m": [np.zeros_like(p.data) for p in legacy_params],
+        "v": [np.zeros_like(p.data) for p in legacy_params],
+    }
+    fused_opt = Adam(fused_model.parameters(), lr=lr, betas=(beta1, beta2), eps=eps)
+
+    seed_s = _best_of(
+        lambda: seed_adam_step(legacy_params, lr, beta1, beta2, eps, legacy_state),
+        repeats,
+        inner,
+    )
+    fused_s = _best_of(fused_opt.step, repeats, inner)
+    return {"seed_s": seed_s, "fused_s": fused_s, "speedup": seed_s / fused_s}
+
+
+def _make_cluster(seed=3):
+    train, test = synthetic_cifar10(
+        num_train=192, num_test=96, image_size=8, seed=seed
+    )
+    specs = [
+        DeviceSpec(device_id=i, power=p, base_step_time=0.1)
+        for i, p in enumerate((3.0, 3.0, 1.0, 1.0))
+    ]
+    return SimulatedCluster(
+        model_factory=lambda rng: models.resnet_mini(num_classes=10, rng=rng),
+        train_set=train,
+        test_set=test,
+        specs=specs,
+        batch_size=16,
+        seed=seed,
+    )
+
+
+def _run_rounds(legacy: bool, rounds: int = 2):
+    cluster = _make_cluster()
+    trainer = HADFLTrainer(cluster, HADFLParams(warmup_epochs=1), seed=5)
+    if legacy:
+        for device in cluster.devices:
+            device.optimizer.fused = False
+    start = time.perf_counter()
+    if legacy:
+        with legacy_device_paths():
+            result = trainer.run(target_epochs=1e9, max_rounds=rounds)
+    else:
+        result = trainer.run(target_epochs=1e9, max_rounds=rounds)
+    elapsed = time.perf_counter() - start
+    return elapsed, [r.train_loss for r in result.rounds]
+
+
+def bench_hadfl_round(rounds: int = 2) -> dict:
+    seed_s, seed_losses = _run_rounds(legacy=True, rounds=rounds)
+    arena_s, arena_losses = _run_rounds(legacy=False, rounds=rounds)
+    losses_equal = seed_losses == arena_losses
+    return {
+        "rounds": rounds,
+        "seed_s": seed_s / rounds,
+        "arena_s": arena_s / rounds,
+        "speedup": seed_s / arena_s,
+        "losses_bitwise_equal": bool(losses_equal),
+        "train_losses": arena_losses,
+    }
+
+
+def run(repeats: int = None) -> dict:
+    if repeats is None:
+        repeats = int(os.environ.get("REPRO_BENCH_HOTPATH_REPEATS", 5))
+    inner = 20
+    results = {
+        "codec_roundtrip": bench_codec(repeats, inner),
+        "sgd_step": bench_sgd(repeats, inner),
+        "adam_step": bench_adam(repeats, inner),
+        "hadfl_round": bench_hadfl_round(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "hotpath.json"
+    path.write_text(json.dumps(results, indent=2))
+    return results
+
+
+def main() -> dict:
+    results = run()
+    for name, entry in results.items():
+        print(
+            f"{name:18s} speedup {entry['speedup']:6.2f}x  "
+            + "  ".join(
+                f"{k}={entry[k]:.3e}"
+                for k in ("seed_s", "arena_s", "fused_s")
+                if k in entry
+            )
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Perf-trajectory entry point: run the hot-path microbench, record JSON.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+Runs :mod:`bench_hotpath` and writes two artefacts:
+
+* ``benchmarks/results/hotpath.json`` — the raw measurements;
+* ``BENCH_hotpath.json`` at the repo root — the same numbers plus run
+  metadata, the file future PRs diff to track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for path in (str(SRC), str(REPO_ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import numpy as np  # noqa: E402
+
+import bench_hotpath  # noqa: E402
+
+
+def main() -> dict:
+    results = bench_hotpath.main()
+    payload = {
+        "bench": "hotpath",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    out = REPO_ROOT / "BENCH_hotpath.json"
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {out}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -76,7 +76,7 @@ class CentralizedFedAvgTrainer(SchemeTrainer):
         upload = cluster.network.sequential_sends_time(m, k)
         shard_sizes = np.array([len(d.cycler.dataset) for d in devices], dtype=float)
         weights = shard_sizes / shard_sizes.sum()  # n_k / N weighting (Eq. 2)
-        stacked = np.stack([d.get_params() for d in devices])
+        stacked = np.stack([d.get_params_view() for d in devices])
         averaged = np.tensordot(weights, stacked, axes=1)
         download = cluster.network.sequential_sends_time(m, k)
         for device in devices:

@@ -42,7 +42,7 @@ class DistributedTrainer(SchemeTrainer):
                 burst = device.train_steps(1, start_time=t_iter)
                 slowest = max(slowest, burst.elapsed)
                 losses.append(burst.mean_loss)
-            vectors = [d.get_params() for d in devices]
+            vectors = [d.get_params_view() for d in devices]
             averaged, stats = ring_allreduce_detailed(vectors)
             for device in devices:
                 device.set_params(averaged)

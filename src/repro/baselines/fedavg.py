@@ -62,8 +62,9 @@ class DecentralizedFedAvgTrainer(SchemeTrainer):
             slowest = max(slowest, burst.elapsed)
         barrier = t_start + slowest
 
-        # Synchronous gossip merge over all K devices (ring schedule).
-        vectors = [d.get_params() for d in devices]
+        # Synchronous gossip merge over all K devices (ring schedule);
+        # arena views — the ring copies into its node buffers on ingest.
+        vectors = [d.get_params_view() for d in devices]
         averaged, stats = ring_allreduce_detailed(vectors)
         for device in devices:
             device.set_params(averaged)

@@ -17,6 +17,7 @@ Everything the three training schemes exchange goes through this package:
 
 from repro.comm.params import (
     FlatParamCodec,
+    ParamArena,
     get_flat_params,
     model_nbytes,
     set_flat_params,
@@ -34,6 +35,7 @@ from repro.comm.volume import CommVolumeAccountant, fedavg_server_volume, device
 
 __all__ = [
     "FlatParamCodec",
+    "ParamArena",
     "get_flat_params",
     "set_flat_params",
     "model_nbytes",

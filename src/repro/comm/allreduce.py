@@ -69,28 +69,25 @@ def ring_allreduce_buffers(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
 
     segments = _segment_bounds(n, k)
 
-    # Phase 1 — reduce-scatter: after k-1 steps, node i holds the full sum
-    # of segment (i+1) mod k.  Transfers within a step are collected first
-    # and applied together, modelling the simultaneous exchange of a real
-    # ring step.
-    for step in range(k - 1):
-        transfers = []
-        for node in range(k):
-            seg_index = (node - step) % k
-            dst = (node + 1) % k
-            transfers.append((dst, seg_index, buffers[node][segments[seg_index]].copy()))
-        for dst, seg_index, payload in transfers:
-            buffers[dst][segments[seg_index]] += payload
+    # Within one ring step, node i sends segment (i - step) while the
+    # segment written *into* node i is (i - 1 - step): distinct for k >= 2,
+    # so applying the transfers sequentially reads exactly the pre-step
+    # state — equivalent to the simultaneous exchange of a real ring step,
+    # with no staging copies of the payloads.
 
-    # Phase 2 — all-gather: circulate the completed segments.
+    # Phase 1 — reduce-scatter: after k-1 steps, node i holds the full sum
+    # of segment (i+1) mod k.
     for step in range(k - 1):
-        transfers = []
         for node in range(k):
-            seg_index = (node + 1 - step) % k
-            dst = (node + 1) % k
-            transfers.append((dst, seg_index, buffers[node][segments[seg_index]].copy()))
-        for dst, seg_index, payload in transfers:
-            buffers[dst][segments[seg_index]] = payload
+            seg = segments[(node - step) % k]
+            buffers[(node + 1) % k][seg] += buffers[node][seg]
+
+    # Phase 2 — all-gather: circulate the completed segments (node i sends
+    # (i + 1 - step) while (i - step) is written into it — again distinct).
+    for step in range(k - 1):
+        for node in range(k):
+            seg = segments[(node + 1 - step) % k]
+            buffers[(node + 1) % k][seg] = buffers[node][seg]
 
     return buffers
 

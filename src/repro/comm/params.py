@@ -1,10 +1,24 @@
-"""Model state ⇄ flat vector codec.
+"""Model state ⇄ flat vector codec, and the flat parameter arena.
 
 Federated aggregation operates on flat float vectors: every scheme
 (FedAvg Eq. 4, HADFL Eq. 5, ring all-reduce) averages the *entire* model
 state.  Buffers (BatchNorm running stats) are included by default, the
 standard choice in FedAvg implementations — controlled by
 ``include_buffers`` for ablation.
+
+Two representations are provided:
+
+* :class:`FlatParamCodec` — the original copy-based codec.  It caches a
+  module's layout at construction so repeated (de)flattening avoids the
+  layout scan, and its writes are *in place* (existing parameter/buffer
+  storage is overwritten, never rebound).
+* :class:`ParamArena` — one contiguous fp64 vector per model replica.
+  Every ``Parameter.data`` and registered buffer is rebound to a reshaped
+  *view* into the arena, so reading the whole model state is a read of
+  one array, writing it is a single vectorized ``flat[:] = incoming``,
+  and blending is a fused ``flat *= w; flat += (1-w) * incoming``.  The
+  simulator's sync path (``Device.get_params``/``set_params``/
+  ``mix_params``) runs entirely on the arena.
 
 The codec also defines the wire size of a model (``nbytes``), which the
 network model uses to price transfers: the paper's communication-volume
@@ -17,28 +31,185 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import Module, Parameter
 
 # The paper's GPUs exchange fp32 tensors; our substrate computes in fp64
 # but transfers are priced at 4 bytes/scalar to match the testbed.
 WIRE_BYTES_PER_SCALAR = 4
 
 
+class ParamArena:
+    """Contiguous fp64 storage backing every parameter (and buffer) of a module.
+
+    Construction copies the module's current state into one flat vector
+    and rebinds each ``Parameter.data`` (and each registered buffer) to a
+    reshaped view of it.  From then on the arena and the module alias the
+    same memory: in-place parameter updates (the optimizers), in-place
+    buffer updates (:meth:`Module.set_buffer`) and in-place state loads
+    (:meth:`Module.load_state_dict`) are all immediately visible through
+    ``flat`` — and a vectorized write to ``flat`` is immediately visible
+    through every parameter.
+
+    One arena per module: constructing a second arena rebinds the module
+    away from the first.  ``include_buffers=False`` leaves buffers on
+    their own storage (parameters still occupy the arena prefix in
+    ``named_parameters`` order).
+    """
+
+    def __init__(self, module: Module, include_buffers: bool = True):
+        self.module = module
+        self.include_buffers = include_buffers
+        params = list(module.named_parameters())
+        buffers = list(module.named_buffers()) if include_buffers else []
+        owners = module._buffer_owners() if include_buffers else {}
+        self.param_scalars = sum(int(p.data.size) for _, p in params)
+        self.num_scalars = self.param_scalars + sum(int(b.size) for _, b in buffers)
+        self.flat = np.empty(self.num_scalars, dtype=np.float64)
+
+        cursor = 0
+        self._param_entries: List[Tuple[Parameter, np.ndarray]] = []
+        for _, param in params:
+            size = int(param.data.size)
+            view = self.flat[cursor : cursor + size].reshape(param.data.shape)
+            view[...] = param.data
+            param.data = view
+            self._param_entries.append((param, view))
+            cursor += size
+        self._buffer_entries: List[Tuple[Module, str, np.ndarray]] = []
+        for name, buf in buffers:
+            owner, local = owners[name]
+            size = int(buf.size)
+            view = self.flat[cursor : cursor + size].reshape(buf.shape)
+            view[...] = buf
+            owner._buffers[local] = view
+            object.__setattr__(owner, local, view)
+            self._buffer_entries.append((owner, local, view))
+            cursor += size
+        module._bind_arena(self)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def params_flat(self) -> np.ndarray:
+        """View of the arena prefix holding all parameters (no buffers)."""
+        return self.flat[: self.param_scalars]
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of one model copy (the paper's M)."""
+        return self.num_scalars * WIRE_BYTES_PER_SCALAR
+
+    def ensure_bound(self) -> None:
+        """Re-establish view aliasing if external code rebound a slot.
+
+        All in-repo mutation paths write in place, so this is normally a
+        pure identity check over the entries; if something assigned a
+        fresh array to ``param.data`` (or replaced a buffer), its values
+        are copied into the arena and the view is reinstalled.
+        """
+        for param, view in self._param_entries:
+            if param.data is not view:
+                view[...] = param.data
+                param.data = view
+        for owner, local, view in self._buffer_entries:
+            if owner._buffers[local] is not view:
+                view[...] = owner._buffers[local]
+                owner._buffers[local] = view
+                object.__setattr__(owner, local, view)
+
+    # ------------------------------------------------------------------ #
+    def read(self) -> np.ndarray:
+        """Zero-copy read: the live arena itself.
+
+        Callers must consume (or copy) the result before the next write
+        to this device's model — every consumer on the sync path copies
+        on ingest (ring buffers, ``np.stack``), so no copy is made here.
+        """
+        self.ensure_bound()
+        return self.flat
+
+    def snapshot(self) -> np.ndarray:
+        """One vectorized copy of the full model state."""
+        self.ensure_bound()
+        return self.flat.copy()
+
+    def write(self, flat: np.ndarray) -> None:
+        """Vectorized full-state write: ``flat[:] = incoming``."""
+        flat = np.asarray(flat)
+        if flat.size != self.num_scalars:
+            raise ValueError(
+                f"flat vector has {flat.size} scalars, expected {self.num_scalars}"
+            )
+        self.ensure_bound()
+        self.flat[:] = flat.reshape(-1)
+
+    def write_params(self, flat: np.ndarray) -> None:
+        """Vectorized write of the parameter prefix only (no buffers)."""
+        flat = np.asarray(flat)
+        if flat.size != self.param_scalars:
+            raise ValueError(
+                f"flat vector has {flat.size} scalars, expected {self.param_scalars}"
+            )
+        self.ensure_bound()
+        self.params_flat[:] = flat.reshape(-1)
+
+    def mix(self, incoming: np.ndarray, own_weight: float) -> None:
+        """Fused blend: ``flat *= w; flat += (1-w) * incoming``.
+
+        Elementwise identical to ``w * flat + (1-w) * incoming`` (fp
+        multiply/add are commutative), with no full-state round trip.
+        """
+        incoming = np.asarray(incoming)
+        if incoming.size != self.num_scalars:
+            raise ValueError(
+                f"incoming vector has {incoming.size} scalars, "
+                f"expected {self.num_scalars}"
+            )
+        self.ensure_bound()
+        if np.may_share_memory(incoming, self.flat):
+            # `flat *= w` would clobber an aliased incoming before it is
+            # read; a self-mix must behave like the copy-based blend.
+            incoming = incoming.copy()
+        self.flat *= own_weight
+        self.flat += (1.0 - own_weight) * incoming.reshape(-1)
+
+
 class FlatParamCodec:
-    """Caches a module's parameter/buffer layout for fast (de)flattening."""
+    """Caches a module's parameter/buffer layout for fast (de)flattening.
+
+    The layout — and direct references to the construction module's
+    parameters and buffer owners — is captured once at construction, so
+    ``flatten``/``unflatten`` on that module never re-walk the tree.
+    When the construction module is backed by a :class:`ParamArena`, both
+    directions collapse to a single vectorized copy.  A codec may still
+    be applied to a *different* (architecture-identical) module; that
+    generic path walks the tree but also writes in place.
+    """
 
     def __init__(self, module: Module, include_buffers: bool = True):
         self.include_buffers = include_buffers
+        self._module = module
+        params = list(module.named_parameters())
         self._param_shapes: List[Tuple[str, Tuple[int, ...]]] = [
-            (name, param.shape) for name, param in module.named_parameters()
+            (name, param.shape) for name, param in params
         ]
-        self._buffer_shapes: List[Tuple[str, Tuple[int, ...]]] = (
-            [(name, buf.shape) for name, buf in module.named_buffers()]
-            if include_buffers
-            else []
+        self._bound_params: List[Parameter] = [param for _, param in params]
+        if include_buffers:
+            owners = module._buffer_owners()
+            buffers = list(module.named_buffers())
+            self._buffer_shapes: List[Tuple[str, Tuple[int, ...]]] = [
+                (name, buf.shape) for name, buf in buffers
+            ]
+            self._bound_buffers: List[Tuple[Module, str]] = [
+                owners[name] for name, _ in buffers
+            ]
+        else:
+            self._buffer_shapes = []
+            self._bound_buffers = []
+        self._param_scalars = sum(
+            int(np.prod(shape)) for _, shape in self._param_shapes
         )
-        self.num_scalars = sum(
-            int(np.prod(shape)) for _, shape in self._param_shapes + self._buffer_shapes
+        self.num_scalars = self._param_scalars + sum(
+            int(np.prod(shape)) for _, shape in self._buffer_shapes
         )
 
     @property
@@ -46,11 +217,38 @@ class FlatParamCodec:
         """Wire size of one model copy (the paper's M)."""
         return self.num_scalars * WIRE_BYTES_PER_SCALAR
 
+    # ------------------------------------------------------------------ #
+    def _arena_for(self, module: Module):
+        """The module's arena, when it can serve this codec's layout."""
+        if module is not self._module:
+            return None
+        arena = module.arena
+        if arena is None or not arena.include_buffers:
+            return None
+        if self.include_buffers:
+            return arena if arena.num_scalars == self.num_scalars else None
+        return arena if arena.param_scalars == self.num_scalars else None
+
     def flatten(self, module: Module) -> np.ndarray:
         """Concatenate all parameters (and buffers) into one fp64 vector."""
-        chunks = [param.data.reshape(-1) for _, param in module.named_parameters()]
-        if self.include_buffers:
-            chunks.extend(buf.reshape(-1) for _, buf in module.named_buffers())
+        arena = self._arena_for(module)
+        if arena is not None:
+            if self.include_buffers:
+                return arena.snapshot()
+            arena.ensure_bound()
+            return arena.params_flat.copy()
+        if module is self._module:
+            chunks = [param.data.reshape(-1) for param in self._bound_params]
+            chunks.extend(
+                owner._buffers[local].reshape(-1)
+                for owner, local in self._bound_buffers
+            )
+        else:
+            chunks = [
+                param.data.reshape(-1) for _, param in module.named_parameters()
+            ]
+            if self.include_buffers:
+                chunks.extend(buf.reshape(-1) for _, buf in module.named_buffers())
         flat = np.concatenate(chunks) if chunks else np.empty(0)
         if flat.size != self.num_scalars:
             raise ValueError(
@@ -60,39 +258,84 @@ class FlatParamCodec:
         return flat
 
     def unflatten(self, module: Module, flat: np.ndarray) -> None:
-        """Write a flat vector back into the module's parameters/buffers."""
+        """Write a flat vector back into the module's parameters/buffers.
+
+        Writes are in place: parameter and buffer storage keeps its
+        identity, so arena views (and any other aliases) observe the new
+        values.
+        """
         flat = np.asarray(flat)
         if flat.size != self.num_scalars:
             raise ValueError(
                 f"flat vector has {flat.size} scalars, expected {self.num_scalars}"
             )
+        arena = self._arena_for(module)
+        if arena is not None:
+            if self.include_buffers:
+                arena.write(flat)
+            else:
+                arena.write_params(flat)
+            return
         cursor = 0
-        params = dict(module.named_parameters())
-        for name, shape in self._param_shapes:
-            size = int(np.prod(shape))
-            params[name].data = flat[cursor : cursor + size].reshape(shape).copy()
-            cursor += size
-        if self.include_buffers:
-            owners = module._buffer_owners()
-            for name, shape in self._buffer_shapes:
+        if module is self._module:
+            for param, (_, shape) in zip(self._bound_params, self._param_shapes):
                 size = int(np.prod(shape))
-                owner, local = owners[name]
+                param.data[...] = flat[cursor : cursor + size].reshape(shape)
+                cursor += size
+            for (owner, local), (_, shape) in zip(
+                self._bound_buffers, self._buffer_shapes
+            ):
+                size = int(np.prod(shape))
                 owner.set_buffer(local, flat[cursor : cursor + size].reshape(shape))
                 cursor += size
+        else:
+            params = dict(module.named_parameters())
+            for name, shape in self._param_shapes:
+                size = int(np.prod(shape))
+                params[name].data[...] = flat[cursor : cursor + size].reshape(shape)
+                cursor += size
+            if self.include_buffers:
+                owners = module._buffer_owners()
+                for name, shape in self._buffer_shapes:
+                    size = int(np.prod(shape))
+                    owner, local = owners[name]
+                    owner.set_buffer(local, flat[cursor : cursor + size].reshape(shape))
+                    cursor += size
+
+
+# ---------------------------------------------------------------------- #
+# One-shot helpers: one cached codec per (module, include_buffers) —
+# repeated calls stop paying the layout-scan cost.  The cache assumes the
+# module's parameter/buffer layout is fixed after construction (true for
+# every model in this repo); registering new state afterwards requires a
+# fresh codec.
+# ---------------------------------------------------------------------- #
+
+
+def _cached_codec(module: Module, include_buffers: bool) -> FlatParamCodec:
+    cache: Dict[bool, FlatParamCodec] = module.__dict__.get("_codec_cache")
+    if cache is None:
+        cache = {}
+        object.__setattr__(module, "_codec_cache", cache)
+    codec = cache.get(include_buffers)
+    if codec is None:
+        codec = FlatParamCodec(module, include_buffers)
+        cache[include_buffers] = codec
+    return codec
 
 
 def get_flat_params(module: Module, include_buffers: bool = True) -> np.ndarray:
-    """One-shot flatten (builds a throwaway codec)."""
-    return FlatParamCodec(module, include_buffers).flatten(module)
+    """One-shot flatten (cached codec per module)."""
+    return _cached_codec(module, include_buffers).flatten(module)
 
 
 def set_flat_params(
     module: Module, flat: np.ndarray, include_buffers: bool = True
 ) -> None:
-    """One-shot unflatten (builds a throwaway codec)."""
-    FlatParamCodec(module, include_buffers).unflatten(module, flat)
+    """One-shot unflatten (cached codec per module)."""
+    _cached_codec(module, include_buffers).unflatten(module, flat)
 
 
 def model_nbytes(module: Module, include_buffers: bool = True) -> int:
     """Wire size of a model's state in bytes."""
-    return FlatParamCodec(module, include_buffers).nbytes
+    return _cached_codec(module, include_buffers).nbytes

@@ -222,9 +222,11 @@ class HADFLTrainer:
             )
 
         # Step 6: fault-tolerant partial synchronisation at the deadline.
+        # Zero-copy arena views: the ring collective copies on ingest, and
+        # the views are consumed before any post-sync arena write.
         self.sim.advance_to(deadline)
         vectors = {
-            device_id: cluster.device_by_id(device_id).get_params()
+            device_id: cluster.device_by_id(device_id).get_params_view()
             for device_id in selected
         }
         sync_result = self.sync.run(

@@ -93,7 +93,8 @@ def predictor_drift_error(
             actual = base_steps * (1.0 + drift_per_round * round_index)
         else:
             actual = base_steps * (step_factor if round_index >= half else 1.0)
-        actual *= float(rng.lognormal(0.0, jitter))
+        if jitter:
+            actual *= float(rng.lognormal(0.0, jitter))
         if round_index > 0:
             forecast = predictor.predict(0, steps_ahead=1)
             if round_index >= half:

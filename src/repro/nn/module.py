@@ -52,10 +52,22 @@ class Module:
         object.__setattr__(self, name, self._buffers[name])
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Overwrite a buffer's contents *in place* (same-shape writes).
+
+        Keeping the storage identity is what lets a :class:`ParamArena`
+        view stay aliased across BatchNorm running-stat updates and
+        federated state loads.  A shape-changing write falls back to
+        rebinding, the pre-arena behaviour.
+        """
         if name not in self._buffers:
             raise KeyError(f"unknown buffer {name!r}")
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
-        object.__setattr__(self, name, self._buffers[name])
+        buf = self._buffers[name]
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape == buf.shape:
+            buf[...] = value
+        else:
+            self._buffers[name] = value
+            object.__setattr__(self, name, self._buffers[name])
 
     # ------------------------------------------------------------------ #
     # Traversal
@@ -125,7 +137,9 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {key}: {param.shape} vs {np.shape(value)}"
                     )
-                param.data = np.array(value, dtype=param.data.dtype)
+                # In-place write: parameter storage keeps its identity, so
+                # arena views (and optimizer flat bindings) stay aliased.
+                param.data[...] = value
         self._refresh_buffer_attrs()
 
     def _buffer_owners(self) -> Dict[str, Tuple["Module", str]]:
@@ -144,6 +158,18 @@ class Module:
         for module in self.modules():
             for name, value in module._buffers.items():
                 object.__setattr__(module, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Flat parameter arena binding
+    # ------------------------------------------------------------------ #
+    def _bind_arena(self, arena) -> None:
+        """Called by :class:`repro.comm.params.ParamArena` on construction."""
+        object.__setattr__(self, "_arena", arena)
+
+    @property
+    def arena(self):
+        """The :class:`ParamArena` backing this module, if one was built."""
+        return getattr(self, "_arena", None)
 
     def num_parameters(self) -> int:
         """Total scalar parameter count (the paper's model size ``M``)."""

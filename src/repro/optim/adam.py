@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -11,7 +11,14 @@ from repro.optim.base import Optimizer
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moment estimates."""
+    """Adam with bias-corrected first/second moment estimates.
+
+    Moment state is stored as two flat fp64 vectors matching the
+    parameter layout (``_m``/``_v`` expose per-parameter reshaped views),
+    so the fused step is a fixed number of in-place full-vector ops.  The
+    per-parameter fallback applies the same elementwise sequence through
+    scratch slices, so both paths are bitwise identical.
+    """
 
     def __init__(
         self,
@@ -28,28 +35,84 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = beta1, beta2
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._flat_m = np.zeros(self.num_scalars, dtype=np.float64)
+        self._flat_v = np.zeros(self.num_scalars, dtype=np.float64)
+        self._m = [
+            self._flat_m[sl].reshape(shape)
+            for sl, shape in zip(self._slices, self._shapes)
+        ]
+        self._v = [
+            self._flat_v[sl].reshape(shape)
+            for sl, shape in zip(self._slices, self._shapes)
+        ]
         self._t = 0
+        self._scratch_a: Optional[np.ndarray] = None
+        self._scratch_b: Optional[np.ndarray] = None
 
     def step(self) -> None:
         self._t += 1
         super().step()
 
-    def _update(self, index: int, param: Parameter) -> None:
-        grad = param.grad
-        if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
-        m, v = self._m[index], self._v[index]
-        m *= self.beta1
-        m += (1 - self.beta1) * grad
-        v *= self.beta2
-        v += (1 - self.beta2) * grad**2
-        m_hat = m / (1 - self.beta1**self._t)
-        v_hat = v / (1 - self.beta2**self._t)
-        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+    # ------------------------------------------------------------------ #
+    def _get_scratch(self):
+        if self._scratch_a is None:
+            self._scratch_a = np.empty(self.num_scalars, dtype=np.float64)
+            self._scratch_b = np.empty(self.num_scalars, dtype=np.float64)
+        return self._scratch_a, self._scratch_b
 
+    def _fused_update(self, flat_params: np.ndarray, flat_grad: np.ndarray) -> bool:
+        a, b = self._get_scratch()
+        self._kernel(flat_params, flat_grad, self._flat_m, self._flat_v, a, b)
+        return True
+
+    def _update(self, index: int, param: Parameter) -> None:
+        sl, shape = self._slices[index], self._shapes[index]
+        a, b = self._get_scratch()
+        grad_slice = self._flat_grad_slice(index)
+        grad_slice[...] = param.grad
+        self._kernel(
+            param.data,
+            grad_slice,
+            self._m[index],
+            self._v[index],
+            a[sl].reshape(shape),
+            b[sl].reshape(shape),
+        )
+
+    def _flat_grad_slice(self, index: int) -> np.ndarray:
+        if self._flat_grad is None:
+            self._flat_grad = np.empty(self.num_scalars, dtype=np.float64)
+        return self._flat_grad[self._slices[index]].reshape(self._shapes[index])
+
+    def _kernel(self, w, g, m, v, a, b) -> None:
+        """The Adam update as in-place ops over matching-shape arrays.
+
+        ``g``, ``a`` and ``b`` are scratch (mutated freely); ``w``, ``m``
+        and ``v`` are the live parameter/state arrays.  The elementwise
+        sequence matches the reference per-parameter implementation
+        exactly (fp multiply/add commutativity), so fused and fallback
+        trajectories are bitwise identical.
+        """
+        if self.weight_decay:
+            np.multiply(w, self.weight_decay, out=a)
+            g += a  # grad + wd * w
+        m *= self.beta1
+        np.multiply(g, 1 - self.beta1, out=a)
+        m += a
+        v *= self.beta2
+        np.multiply(g, g, out=a)
+        a *= 1 - self.beta2
+        v += a
+        np.divide(m, 1 - self.beta1**self._t, out=a)  # m_hat
+        np.divide(v, 1 - self.beta2**self._t, out=b)  # v_hat
+        np.sqrt(b, out=b)
+        b += self.eps
+        np.multiply(a, self.lr, out=a)  # lr * m_hat
+        a /= b
+        w -= a
+
+    # ------------------------------------------------------------------ #
     def reset_state(self) -> None:
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._flat_m[:] = 0.0
+        self._flat_v[:] = 0.0
         self._t = 0

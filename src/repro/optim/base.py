@@ -1,21 +1,113 @@
-"""Optimizer base class."""
+"""Optimizer base class with a fused flat-buffer hot path.
+
+Optimizers keep two update paths:
+
+* **Fused** (the hot path): when every parameter has a gradient and all
+  parameter data can be exposed as one contiguous fp64 vector, the whole
+  update runs as a handful of full-vector in-place ops — O(1) array
+  operations instead of a Python loop over layers.  Parameters bound to
+  a :class:`~repro.comm.params.ParamArena` are adopted zero-copy (they
+  already occupy the arena prefix); standalone parameters are packed
+  into a private flat block once, on first step.
+* **Per-parameter fallback**: preserves the exact seed semantics when
+  some gradients are ``None`` (those parameters are skipped) or when the
+  parameters cannot be flattened (non-fp64, exotic views).  Both paths
+  apply bitwise-identical elementwise arithmetic, so switching between
+  them never perturbs a training trajectory.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
-from repro.autograd import Tensor, no_grad
+import numpy as np
+
+from repro.autograd import no_grad
 from repro.nn.module import Parameter
+
+
+def _root_base(arr: np.ndarray) -> np.ndarray:
+    """Walk ``.base`` to the array that owns the underlying storage."""
+    root = arr
+    while isinstance(root.base, np.ndarray):
+        root = root.base
+    return root
+
+
+def _adopt_contiguous(params: List[Parameter]) -> Optional[np.ndarray]:
+    """Return a flat view over the params' shared storage, if they pack.
+
+    Succeeds when every ``param.data`` is a C-contiguous fp64 view into
+    the same 1-D fp64 base (e.g. a :class:`ParamArena`), laid out
+    back-to-back in parameter order — then the single slice
+    ``base[start:end]`` aliases every parameter at once.
+    """
+    root = _root_base(params[0].data)
+    if (
+        root.dtype != np.float64
+        or root.ndim != 1
+        or not root.flags["C_CONTIGUOUS"]
+    ):
+        return None
+    root_ptr = root.__array_interface__["data"][0]
+    itemsize = root.itemsize
+    start = cursor = None
+    for param in params:
+        data = param.data
+        if data.dtype != np.float64 or not data.flags["C_CONTIGUOUS"]:
+            return None
+        if _root_base(data) is not root:
+            return None
+        offset_bytes = data.__array_interface__["data"][0] - root_ptr
+        if offset_bytes % itemsize:
+            return None
+        offset = offset_bytes // itemsize
+        if cursor is None:
+            start = cursor = offset
+        elif offset != cursor:
+            return None
+        cursor += data.size
+    return root[start:cursor]
+
+
+def _pack_private(params: List[Parameter]) -> Optional[np.ndarray]:
+    """Pack standalone parameters into a fresh contiguous flat block.
+
+    Rebinds each ``param.data`` to a view of the block (the same move a
+    :class:`ParamArena` makes).  Refuses when any parameter is a view of
+    foreign storage — rebinding those would silently disconnect them from
+    whatever owns the memory (e.g. another module's arena).
+    """
+    for param in params:
+        if param.data.base is not None:
+            return None
+    flat = np.empty(sum(int(p.data.size) for p in params), dtype=np.float64)
+    cursor = 0
+    for param in params:
+        size = int(param.data.size)
+        view = flat[cursor : cursor + size].reshape(param.data.shape)
+        view[...] = param.data
+        param.data = view
+        cursor += size
+    return flat
 
 
 class Optimizer:
     """Base optimizer over an explicit parameter list.
 
     Subclasses implement :meth:`_update` for a single parameter given its
-    gradient; state (momentum buffers etc.) is keyed by parameter identity
-    so the same optimizer instance can survive parameter-data replacement
-    during federated synchronisation (data is updated in place).
+    gradient, and optionally :meth:`_fused_update` operating on the full
+    flat parameter/gradient vectors.  State (momentum buffers etc.) is
+    keyed by parameter position so the same optimizer instance survives
+    parameter-data replacement during federated synchronisation (data is
+    updated in place).
+
+    Set ``fused = False`` (on an instance, or on the class to affect
+    every optimizer) to force the per-parameter path — used by the
+    equivalence tests and the hot-path benchmark's seed emulation.
     """
+
+    fused = True
 
     def __init__(self, params: Iterable[Parameter], lr: float):
         self.params: List[Parameter] = list(params)
@@ -25,7 +117,19 @@ class Optimizer:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
         self._step_count = 0
+        self._shapes = [p.data.shape for p in self.params]
+        self._slices: List[slice] = []
+        cursor = 0
+        for param in self.params:
+            size = int(param.data.size)
+            self._slices.append(slice(cursor, cursor + size))
+            cursor += size
+        self.num_scalars = cursor
+        self._flat_params: Optional[np.ndarray] = None
+        self._param_views: Optional[List[np.ndarray]] = None
+        self._flat_grad: Optional[np.ndarray] = None
 
+    # ------------------------------------------------------------------ #
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
@@ -33,19 +137,77 @@ class Optimizer:
     def step(self) -> None:
         """Apply one update using the gradients currently stored."""
         with no_grad():
-            for index, param in enumerate(self.params):
-                if param.grad is None:
-                    continue
-                self._update(index, param)
+            if not (self.fused and self._try_fused_step()):
+                for index, param in enumerate(self.params):
+                    if param.grad is None:
+                        continue
+                    self._update(index, param)
         self._step_count += 1
 
     @property
     def step_count(self) -> int:
         return self._step_count
 
+    # ------------------------------------------------------------------ #
+    # Fused hot path
+    # ------------------------------------------------------------------ #
+    def _bind_flat(self) -> Optional[np.ndarray]:
+        """(Re)derive the contiguous flat view over all parameter data.
+
+        Cheap identity check per step; re-binding only happens when some
+        external code rebound a ``param.data`` (e.g. an arena was built
+        around the model after this optimizer was constructed).  State
+        buffers are positional, so they stay valid across re-binds.
+        """
+        views = self._param_views
+        if views is not None:
+            for param, view in zip(self.params, views):
+                if param.data is not view:
+                    break
+            else:
+                return self._flat_params
+        flat = _adopt_contiguous(self.params)
+        if flat is None:
+            flat = _pack_private(self.params)
+        if flat is None:
+            self._flat_params = None
+            self._param_views = None
+            return None
+        self._flat_params = flat
+        self._param_views = [p.data for p in self.params]
+        return flat
+
+    def _try_fused_step(self) -> bool:
+        grads = []
+        for param in self.params:
+            grad = param.grad
+            if grad is None:
+                return False
+            grads.append(grad)
+        flat = self._bind_flat()
+        if flat is None:
+            return False
+        flat_grad = self._flat_grad
+        if flat_grad is None:
+            flat_grad = self._flat_grad = np.empty(
+                self.num_scalars, dtype=np.float64
+            )
+        for grad, sl in zip(grads, self._slices):
+            flat_grad[sl] = grad.reshape(-1)
+        return self._fused_update(flat, flat_grad)
+
+    def _fused_update(self, flat_params: np.ndarray, flat_grad: np.ndarray) -> bool:
+        """Whole-arena update; return False to fall back to :meth:`_update`.
+
+        ``flat_grad`` is a scratch buffer owned by the optimizer —
+        kernels may mutate it freely.
+        """
+        return False
+
     def _update(self, index: int, param: Parameter) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
     def state_dict(self) -> dict:
         return {"lr": self.lr, "step_count": self._step_count}
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -18,6 +18,13 @@ class SGD(Optimizer):
         g   <- grad + wd * w
         buf <- m * buf + g
         w   <- w - lr * buf            (or lr * (g + m * buf) for Nesterov)
+
+    Momentum state lives in one flat fp64 vector matching the parameter
+    layout; ``_buffers`` exposes per-parameter reshaped views of it.  The
+    fused step applies the whole update as in-place full-vector ops; the
+    per-parameter fallback computes into reusable scratch slices instead
+    of allocating ``grad + wd * w`` / Nesterov temporaries per step.
+    Both paths are elementwise (bitwise) identical.
     """
 
     def __init__(
@@ -36,26 +43,77 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self.nesterov = nesterov
-        self._buffers = [None] * len(self.params)
+        if momentum:
+            self._flat_buf: Optional[np.ndarray] = np.zeros(
+                self.num_scalars, dtype=np.float64
+            )
+            self._buffers = [
+                self._flat_buf[sl].reshape(shape)
+                for sl, shape in zip(self._slices, self._shapes)
+            ]
+        else:
+            self._flat_buf = None
+            self._buffers = [None] * len(self.params)
+        self._scratch: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def _get_scratch(self) -> np.ndarray:
+        if self._scratch is None:
+            self._scratch = np.empty(self.num_scalars, dtype=np.float64)
+        return self._scratch
+
+    def _fused_update(self, flat_params: np.ndarray, flat_grad: np.ndarray) -> bool:
+        scratch = self._get_scratch()
+        grad = flat_grad
+        if self.weight_decay:
+            np.multiply(flat_params, self.weight_decay, out=scratch)
+            grad += scratch  # grad + wd * w  (fp add is commutative)
+        if self.momentum:
+            buf = self._flat_buf
+            buf *= self.momentum
+            buf += grad
+            if self.nesterov:
+                np.multiply(buf, self.momentum, out=scratch)
+                grad += scratch  # g + m * buf
+                step_vec = grad
+            else:
+                step_vec = buf
+        else:
+            step_vec = grad
+        np.multiply(step_vec, self.lr, out=scratch)
+        flat_params -= scratch
+        return True
 
     def _update(self, index: int, param: Parameter) -> None:
+        sl, shape = self._slices[index], self._shapes[index]
+        scratch = self._get_scratch()[sl].reshape(shape)
         grad = param.grad
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            scratch += grad
+            grad = scratch
         if self.momentum:
             buf = self._buffers[index]
-            if buf is None:
-                buf = grad.copy()
+            buf *= self.momentum
+            buf += grad
+            if self.nesterov:
+                if grad is not scratch:
+                    scratch[...] = grad
+                scratch += self.momentum * buf
+                grad = scratch
             else:
-                buf *= self.momentum
-                buf += grad
-            self._buffers[index] = buf
-            grad = grad + self.momentum * buf if self.nesterov else buf
-        param.data -= self.lr * grad
+                grad = buf
+        if grad is scratch:
+            scratch *= self.lr
+            param.data -= scratch
+        else:
+            param.data -= self.lr * grad
 
+    # ------------------------------------------------------------------ #
     def reset_state(self) -> None:
         """Drop momentum buffers (used after federated model replacement)."""
-        self._buffers = [None] * len(self.params)
+        if self._flat_buf is not None:
+            self._flat_buf[:] = 0.0
 
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -64,4 +122,11 @@ class SGD(Optimizer):
 
     def load_state_dict(self, state: dict) -> None:
         super().load_state_dict(state)
-        self._buffers = [None if b is None else b.copy() for b in state["buffers"]]
+        for index, saved in enumerate(state["buffers"]):
+            buf = self._buffers[index]
+            if buf is None:
+                continue
+            if saved is None:
+                buf[...] = 0.0
+            else:
+                buf[...] = np.asarray(saved).reshape(buf.shape)

@@ -13,7 +13,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autograd import Tensor, no_grad
-from repro.comm.params import FlatParamCodec
+from repro.comm.params import FlatParamCodec, ParamArena
 from repro.data.dataset import Dataset, Subset
 from repro.data.loader import BatchCycler
 from repro.data.partition import partition_dirichlet, partition_iid
@@ -89,6 +89,9 @@ class SimulatedCluster:
         # Initial model: every device starts from identical weights
         # (HADFL workflow step "synchronize the initial models").
         self._eval_model = model_factory(np.random.default_rng(seed))
+        # Arena-backed evaluation replica: per-round evaluation loads are
+        # a single vectorized write instead of a per-parameter unflatten.
+        self._eval_arena = ParamArena(self._eval_model)
         self.codec = FlatParamCodec(self._eval_model)
         self.initial_params = self.codec.flatten(self._eval_model)
         self.model_nbytes = self.codec.nbytes
@@ -192,7 +195,7 @@ class SimulatedCluster:
             if device_ids is None
             else [self.device_by_id(i) for i in device_ids]
         )
-        return np.mean([d.get_params() for d in targets], axis=0)
+        return np.mean([d.get_params_view() for d in targets], axis=0)
 
     def reset(self) -> None:
         """Restore every device to the initial model and zero the clocks."""

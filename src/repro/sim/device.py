@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.autograd import Tensor, no_grad
-from repro.comm.params import FlatParamCodec
+from repro.comm.params import FlatParamCodec, ParamArena
 from repro.data.loader import BatchCycler
 from repro.nn.losses import CrossEntropyLoss, accuracy
 from repro.nn.module import Module
@@ -99,9 +99,19 @@ class Device:
         self.cycler = cycler
         self.lr_schedule = lr_schedule
         self.loss_fn = loss_fn or CrossEntropyLoss()
-        self.codec = FlatParamCodec(model)
+        # The arena makes the whole replica state one contiguous vector;
+        # all parameter traffic below goes through it.
+        self.arena = ParamArena(model)
+        self._codec: Optional[FlatParamCodec] = None
         self.version = 0
         self.busy_until = 0.0
+        # Hot path: with no drift and no jitter (the default), every step
+        # costs exactly this constant — skip the drift call and RNG draw.
+        self._fixed_step_time = (
+            spec.base_step_time / spec.power
+            if spec.power_drift is None and not spec.jitter
+            else None
+        )
         self._rng = np.random.default_rng(
             spec.device_id * 7919 + 13 if seed is None else seed
         )
@@ -112,6 +122,13 @@ class Device:
     @property
     def device_id(self) -> int:
         return self.spec.device_id
+
+    @property
+    def codec(self) -> FlatParamCodec:
+        """Arena-aware codec over this device's model (built on demand)."""
+        if self._codec is None:
+            self._codec = FlatParamCodec(self.model)
+        return self._codec
 
     def effective_power(self, at_time: float) -> float:
         power = self.spec.power
@@ -125,6 +142,8 @@ class Device:
 
     def step_time(self, at_time: float = 0.0) -> float:
         """Virtual duration of one local step (with jitter, if any)."""
+        if self._fixed_step_time is not None:
+            return self._fixed_step_time
         base = self.spec.base_step_time / self.effective_power(at_time)
         if self.spec.jitter:
             base *= float(self._rng.lognormal(mean=0.0, sigma=self.spec.jitter))
@@ -228,13 +247,23 @@ class Device:
     # Parameters
     # ------------------------------------------------------------------ #
     def get_params(self) -> np.ndarray:
-        return self.codec.flatten(self.model)
+        """Snapshot of the full model state (one vectorized arena copy)."""
+        return self.arena.snapshot()
+
+    def get_params_view(self) -> np.ndarray:
+        """Zero-copy read of the live arena (see :meth:`ParamArena.read`).
+
+        The sync path hands these views straight to the collectives,
+        which copy on ingest; consume before the next ``set_params``.
+        """
+        return self.arena.read()
 
     def set_params(self, flat: np.ndarray) -> None:
-        self.codec.unflatten(self.model, flat)
+        """Vectorized full-state write into the arena."""
+        self.arena.write(flat)
 
     def mix_params(self, incoming: np.ndarray, own_weight: float = 0.5) -> None:
-        """Blend an incoming model with the local one.
+        """Blend an incoming model with the local one (fused, in place).
 
         Unselected devices "integrate the received model parameters with
         local parameters" after the broadcast (Sec. III-D); equal blending
@@ -242,8 +271,7 @@ class Device:
         """
         if not 0.0 <= own_weight <= 1.0:
             raise ValueError(f"own_weight must be in [0, 1], got {own_weight}")
-        current = self.get_params()
-        self.set_params(own_weight * current + (1.0 - own_weight) * incoming)
+        self.arena.mix(incoming, own_weight)
 
     # ------------------------------------------------------------------ #
     # Evaluation (instrumentation only: costs no virtual time)

@@ -1,0 +1,237 @@
+"""Flat parameter arena: round-trips, view aliasing, fused-optimizer parity.
+
+The arena contract (see ``repro/comm/params.py``): after construction,
+``Parameter.data`` and every registered buffer are *views* into one
+contiguous fp64 vector, and every in-repo mutation path (optimizer steps,
+``set_buffer``, ``load_state_dict``, codec ``unflatten``) preserves that
+aliasing.  The fused optimizer kernels must be bitwise-identical to the
+per-parameter fallback, which in turn replicates the seed arithmetic.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from repro.comm.params import FlatParamCodec, ParamArena, get_flat_params
+from repro.nn import models
+from repro.optim import SGD, Adam
+from repro.autograd import Tensor
+from repro.nn.losses import CrossEntropyLoss
+
+
+def _model(seed=0):
+    return models.SimpleCNN(image_size=8, width=4, rng=np.random.default_rng(seed))
+
+
+def _reference_flat(model, include_buffers=True):
+    chunks = [p.data.reshape(-1) for _, p in model.named_parameters()]
+    if include_buffers:
+        chunks.extend(b.reshape(-1) for _, b in model.named_buffers())
+    return np.concatenate(chunks)
+
+
+class TestArenaRoundTrip:
+    @pytest.mark.parametrize("include_buffers", [True, False])
+    def test_construction_preserves_state(self, include_buffers):
+        model = _model(0)
+        reference = _reference_flat(model, include_buffers)
+        arena = ParamArena(model, include_buffers=include_buffers)
+        np.testing.assert_array_equal(arena.read(), reference)
+        np.testing.assert_array_equal(_reference_flat(model, include_buffers), reference)
+
+    @pytest.mark.parametrize("include_buffers", [True, False])
+    def test_write_read_roundtrip(self, include_buffers):
+        model = _model(0)
+        arena = ParamArena(model, include_buffers=include_buffers)
+        rng = np.random.default_rng(3)
+        incoming = rng.normal(size=arena.num_scalars)
+        arena.write(incoming)
+        np.testing.assert_array_equal(arena.snapshot(), incoming)
+        # The write landed in the actual parameters, not just the vector.
+        np.testing.assert_array_equal(
+            _reference_flat(model, include_buffers), incoming
+        )
+
+    def test_mix_matches_affine_blend(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        own = arena.snapshot()
+        incoming = np.random.default_rng(5).normal(size=arena.num_scalars)
+        arena.mix(incoming, own_weight=0.25)
+        np.testing.assert_array_equal(
+            arena.snapshot(), 0.25 * own + 0.75 * incoming
+        )
+
+    def test_size_validation(self):
+        arena = ParamArena(_model(0))
+        with pytest.raises(ValueError):
+            arena.write(np.zeros(3))
+        with pytest.raises(ValueError):
+            arena.mix(np.zeros(3), own_weight=0.5)
+
+    def test_param_prefix_layout(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        assert arena.param_scalars == model.num_parameters()
+        np.testing.assert_array_equal(
+            arena.params_flat, _reference_flat(model, include_buffers=False)
+        )
+
+
+class TestArenaAliasing:
+    def test_arena_mutation_visible_through_parameters(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        arena.flat[:] = 7.5
+        for param in model.parameters():
+            assert np.all(param.data == 7.5)
+        for _, buf in model.named_buffers():
+            assert np.all(buf == 7.5)
+
+    def test_parameter_mutation_visible_through_arena(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        first = model.parameters()[0]
+        first.data[...] = -3.0
+        assert np.all(arena.flat[: first.data.size] == -3.0)
+
+    def test_aliasing_survives_load_state_dict(self):
+        model = _model(0)
+        donor = _model(1)
+        arena = ParamArena(model)
+        views = [p.data for p in model.parameters()]
+        model.load_state_dict(donor.state_dict())
+        for param, view in zip(model.parameters(), views):
+            assert param.data is view  # storage identity preserved
+        np.testing.assert_array_equal(arena.read(), _reference_flat(donor))
+
+    def test_aliasing_survives_codec_unflatten(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        codec = FlatParamCodec(model)
+        incoming = np.random.default_rng(9).normal(size=codec.num_scalars)
+        codec.unflatten(model, incoming)
+        np.testing.assert_array_equal(arena.flat, incoming)
+        # And through a *foreign* codec (generic in-place path).
+        other_codec = FlatParamCodec(_model(2))
+        other_codec.unflatten(model, incoming * 2.0)
+        np.testing.assert_array_equal(arena.flat, incoming * 2.0)
+
+    def test_aliasing_survives_batchnorm_forward(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        model.train()
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3, 8, 8)))
+        model(x)  # BatchNorm updates running stats via set_buffer
+        np.testing.assert_array_equal(arena.read(), _reference_flat(model))
+
+    def test_ensure_bound_repairs_external_rebind(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        first = model.parameters()[0]
+        first.data = np.full(first.data.shape, 4.0)  # foreign rebind
+        flat = arena.read()  # ensure_bound copies the values back in
+        assert first.data.base is not None
+        assert np.all(flat[: first.data.size] == 4.0)
+
+
+class TestCachedCodecHelpers:
+    def test_one_shot_helpers_reuse_codec(self):
+        model = _model(0)
+        flat_a = get_flat_params(model)
+        flat_b = get_flat_params(model)
+        assert model.__dict__["_codec_cache"] is not None
+        np.testing.assert_array_equal(flat_a, flat_b)
+        assert flat_a is not flat_b  # still snapshot semantics
+
+
+class TestFusedOptimizerParity:
+    def _grads(self, model, seed=11):
+        rng = np.random.default_rng(seed)
+        for param in model.parameters():
+            param.grad = rng.normal(size=param.data.shape)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(lr=0.05),
+            dict(lr=0.05, momentum=0.9),
+            dict(lr=0.05, momentum=0.9, nesterov=True),
+            dict(lr=0.05, weight_decay=1e-3),
+            dict(lr=0.05, momentum=0.9, weight_decay=1e-3, nesterov=True),
+        ],
+    )
+    def test_sgd_fused_bitwise_equals_fallback(self, kwargs):
+        fused_model, plain_model = _model(0), _model(0)
+        ParamArena(fused_model)
+        fused = SGD(fused_model.parameters(), **kwargs)
+        plain = SGD(plain_model.parameters(), **kwargs)
+        plain.fused = False
+        for step_seed in range(3):
+            self._grads(fused_model, seed=step_seed)
+            self._grads(plain_model, seed=step_seed)
+            fused.step()
+            plain.step()
+        np.testing.assert_array_equal(
+            _reference_flat(fused_model), _reference_flat(plain_model)
+        )
+
+    def test_adam_fused_bitwise_equals_fallback(self):
+        fused_model, plain_model = _model(0), _model(0)
+        ParamArena(fused_model)
+        fused = Adam(fused_model.parameters(), lr=1e-3, weight_decay=1e-4)
+        plain = Adam(plain_model.parameters(), lr=1e-3, weight_decay=1e-4)
+        plain.fused = False
+        for step_seed in range(3):
+            self._grads(fused_model, seed=step_seed)
+            self._grads(plain_model, seed=step_seed)
+            fused.step()
+            plain.step()
+        np.testing.assert_array_equal(
+            _reference_flat(fused_model), _reference_flat(plain_model)
+        )
+
+    def test_fused_adopts_arena_built_after_optimizer(self):
+        # The cluster constructs the optimizer *before* the Device wraps
+        # the model in an arena; the fused path must adopt the rebind.
+        model = _model(0)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        ParamArena(model)
+        self._grads(model)
+        opt.step()
+        flat = opt._flat_params
+        assert flat is not None
+        assert flat.base is model.arena.flat or flat is model.arena.flat
+
+    def test_fallback_on_missing_grad_skips_param(self):
+        model = _model(0)
+        ParamArena(model)
+        opt = SGD(model.parameters(), lr=0.1)
+        self._grads(model)
+        first = model.parameters()[0]
+        before = first.data.copy()
+        first.grad = None
+        opt.step()
+        np.testing.assert_array_equal(first.data, before)
+
+    def test_end_to_end_training_with_arena(self):
+        model = _model(0)
+        ParamArena(model)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        loss_fn = CrossEntropyLoss()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 3, 8, 8))
+        y = rng.integers(0, 10, size=16)
+        first_loss = None
+        for _ in range(15):
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+            if first_loss is None:
+                first_loss = float(loss.data)
+        assert float(loss.data) < first_loss
