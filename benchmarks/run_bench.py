@@ -1,19 +1,27 @@
-"""Perf-trajectory entry point: run the hot-path microbench, record JSON.
+"""Perf-trajectory entry point: run the perf benches, record JSON.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick]
 
-Runs :mod:`bench_hotpath` and writes two artefacts:
+Runs :mod:`bench_hotpath` and :mod:`bench_parallel` and writes the
+artefacts:
 
-* ``benchmarks/results/hotpath.json`` — the raw measurements;
-* ``BENCH_hotpath.json`` at the repo root — the same numbers plus run
-  metadata, the file future PRs diff to track the perf trajectory.
+* ``benchmarks/results/hotpath.json`` / ``results/parallel.json`` — raw
+  measurements;
+* ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` at the repo root —
+  the same numbers plus run metadata, the files future PRs diff to track
+  the perf trajectory.
+
+``--quick`` shrinks repeat counts for CI smoke runs (numbers are then
+noisy; only the bitwise-equality checks are meaningful).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -27,9 +35,12 @@ for path in (str(SRC), str(REPO_ROOT / "benchmarks")):
 import numpy as np  # noqa: E402
 
 import bench_hotpath  # noqa: E402
+import bench_parallel  # noqa: E402
 
 
-def main() -> dict:
+def main(quick: bool = False) -> dict:
+    if quick:
+        os.environ.setdefault("REPRO_BENCH_HOTPATH_REPEATS", "2")
     results = bench_hotpath.main()
     payload = {
         "bench": "hotpath",
@@ -41,8 +52,15 @@ def main() -> dict:
     out = REPO_ROOT / "BENCH_hotpath.json"
     out.write_text(json.dumps(payload, indent=2))
     print(f"wrote {out}")
-    return payload
+    parallel = bench_parallel.main(quick=quick)
+    # Each bench persists its own artefact; the merged dict is only the
+    # in-process return value.
+    return {"hotpath": payload, "parallel": parallel}
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    main(quick=parser.parse_args().quick)

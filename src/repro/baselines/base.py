@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.comm.volume import CommVolumeAccountant
 from repro.metrics.records import RoundRecord, RunResult
+from repro.parallel.tasks import LocalTrainTask
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceRecorder
@@ -67,6 +68,22 @@ class SchemeTrainer:
         loss, acc = self.cluster.evaluate_params(self._global_params)
         record.test_loss = loss
         record.test_accuracy = acc
+
+    def train_all_devices(self, num_steps: int, start_time: float) -> dict:
+        """Run ``num_steps`` local steps on every device via the cluster's
+        executor; returns bursts keyed by device id.  Bursts are
+        independent until the merge barrier, so any backend may run them
+        concurrently — results are bitwise-identical to serial."""
+        return self.cluster.run_local_tasks(
+            [
+                LocalTrainTask(
+                    device_id=device.device_id,
+                    num_steps=num_steps,
+                    start_time=start_time,
+                )
+                for device in self.cluster.devices
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     def run(

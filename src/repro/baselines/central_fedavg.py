@@ -63,10 +63,11 @@ class CentralizedFedAvgTrainer(SchemeTrainer):
         k = len(devices)
 
         # Local phase (Eq. 3): E steps each; barrier at the slowest.
+        bursts = self.train_all_devices(self.local_steps, t_start)
         losses = []
         slowest = 0.0
         for device in devices:
-            burst = device.train_steps(self.local_steps, start_time=t_start)
+            burst = bursts[device.device_id]
             losses.extend(burst.losses)
             slowest = max(slowest, burst.elapsed)
         barrier = t_start + slowest

@@ -37,9 +37,10 @@ class DistributedTrainer(SchemeTrainer):
         round_bytes = 0
         for _ in range(iterations):
             t_iter = self.sim.now
+            bursts = self.train_all_devices(1, t_iter)
             slowest = 0.0
             for device in devices:
-                burst = device.train_steps(1, start_time=t_iter)
+                burst = bursts[device.device_id]
                 slowest = max(slowest, burst.elapsed)
                 losses.append(burst.mean_loss)
             vectors = [d.get_params_view() for d in devices]

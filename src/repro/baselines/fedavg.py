@@ -54,10 +54,11 @@ class DecentralizedFedAvgTrainer(SchemeTrainer):
 
         # Local phase: E steps each, in parallel; the barrier closes when
         # the slowest device finishes.
+        bursts = self.train_all_devices(self.local_steps, t_start)
         losses = []
         slowest = 0.0
         for device in devices:
-            burst = device.train_steps(self.local_steps, start_time=t_start)
+            burst = bursts[device.device_id]
             losses.extend(burst.losses)
             slowest = max(slowest, burst.elapsed)
         barrier = t_start + slowest

@@ -72,6 +72,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dirichlet-alpha", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", default=None, help="directory to save result JSON")
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "thread", "process"),
+        help="local-training backend (bitwise-identical trajectories; "
+        "process uses forked workers + shared memory)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process executor "
+        "(default: one per device, capped at CPU count)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -88,6 +102,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         dirichlet_alpha=args.dirichlet_alpha,
         target_epochs=args.epochs,
         seed=args.seed,
+        executor=args.executor,
+        executor_workers=args.workers,
     )
 
 
@@ -98,6 +114,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"models    : {', '.join(available_models())}")
     print(f"schemes   : {', '.join(SCHEMES)}")
     print("selection : gaussian_quartile, uniform, latest, worst")
+    print("executors : serial, thread, process")
     return 0
 
 

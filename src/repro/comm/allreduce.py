@@ -10,20 +10,28 @@ prices exactly this schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class AllReduceStats:
-    """Byte/step accounting for one ring all-reduce invocation."""
+    """Byte/step accounting for one ring all-reduce invocation.
+
+    ``bytes_sent_by_node`` holds the exact per-node totals over the
+    2(K−1)-step schedule; they differ when the vector does not divide
+    evenly into K segments.  ``bytes_sent_per_node`` is the busiest
+    node's total (equal for every node when ``n % k == 0``), the figure
+    link-capacity planning cares about.
+    """
 
     num_nodes: int
     vector_scalars: int
     steps: int
     bytes_sent_per_node: int
     total_bytes: int
+    bytes_sent_by_node: Tuple[int, ...] = ()
 
 
 def _segment_bounds(size: int, num_nodes: int) -> List[slice]:
@@ -118,18 +126,29 @@ def ring_allreduce_detailed(
     k = len(buffers)
     n = buffers[0].size
     if k == 1:
-        return buffers[0], AllReduceStats(1, n, 0, 0, 0)
+        return buffers[0], AllReduceStats(1, n, 0, 0, 0, (0,))
     result = buffers[0] / k if average else buffers[0]
 
-    # Every node sends one segment per step over 2(k-1) steps.
-    seg_bytes = int(np.ceil(n / k)) * bytes_per_scalar
+    # Every node sends one segment per step over 2(k-1) steps; segment
+    # sizes come from the actual split, so nodes that own the longer
+    # segments (the first ``n % k`` of them) send more.  Summed over one
+    # step the sent segments cover the vector exactly once, so the grand
+    # total is exactly 2(k-1) * n scalars — no ceil inflation.
+    seg_scalars = [s.stop - s.start for s in _segment_bounds(n, k)]
     steps = 2 * (k - 1)
-    per_node = steps * seg_bytes
+    by_node = []
+    for node in range(k):
+        sent = 0
+        for step in range(k - 1):
+            sent += seg_scalars[(node - step) % k]  # reduce-scatter
+            sent += seg_scalars[(node + 1 - step) % k]  # all-gather
+        by_node.append(sent * bytes_per_scalar)
     stats = AllReduceStats(
         num_nodes=k,
         vector_scalars=n,
         steps=steps,
-        bytes_sent_per_node=per_node,
-        total_bytes=per_node * k,
+        bytes_sent_per_node=max(by_node),
+        total_bytes=sum(by_node),
+        bytes_sent_by_node=tuple(by_node),
     )
     return result, stats

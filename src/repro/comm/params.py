@@ -142,6 +142,21 @@ class ParamArena:
         self.ensure_bound()
         self.flat[:] = flat.reshape(-1)
 
+    def export_into(self, out: np.ndarray) -> None:
+        """Vectorized full-state copy into caller-owned storage.
+
+        The parallel-execution backends point ``out`` at a slice of a
+        shared-memory block, so a replica in another process can
+        :meth:`write` (attach) the exact bytes without any serialisation.
+        """
+        out = np.asarray(out)
+        if out.size != self.num_scalars:
+            raise ValueError(
+                f"output has {out.size} scalars, expected {self.num_scalars}"
+            )
+        self.ensure_bound()
+        out.reshape(-1)[:] = self.flat
+
     def write_params(self, flat: np.ndarray) -> None:
         """Vectorized write of the parameter prefix only (no buffers)."""
         flat = np.asarray(flat)

@@ -48,6 +48,14 @@ class HADFLParams:
         If True (the paper's "dynamic configuration update", workflow
         step 7), the strategy generator re-derives each device's step
         budget from the version predictor's forecast each round.
+    executor:
+        Local-training execution backend override: ``"serial"``,
+        ``"thread"`` or ``"process"``.  ``None`` (default) uses the
+        cluster's executor.  Every backend is bitwise-identical to
+        serial on fixed seeds, so this knob never changes a trajectory —
+        only wall-clock time.
+    executor_workers:
+        Worker count for a parallel ``executor`` override.
     """
 
     tsync: int = 1
@@ -62,6 +70,8 @@ class HADFLParams:
     time_quantum: float = 1e-3
     max_hyperperiod_multiple: float = 16.0
     adapt_local_steps: bool = True
+    executor: "str | None" = None
+    executor_workers: "int | None" = None
 
     def __post_init__(self):
         if self.tsync < 1:
@@ -87,3 +97,15 @@ class HADFLParams:
             )
         if self.time_quantum <= 0:
             raise ValueError(f"time_quantum must be positive, got {self.time_quantum}")
+        if self.executor is not None and self.executor not in (
+            "serial",
+            "thread",
+            "process",
+        ):
+            raise ValueError(
+                f"executor must be one of serial/thread/process, got {self.executor!r}"
+            )
+        if self.executor_workers is not None and self.executor_workers < 1:
+            raise ValueError(
+                f"executor_workers must be >= 1, got {self.executor_workers}"
+            )

@@ -31,8 +31,10 @@ from repro.core.config import HADFLParams
 from repro.core.coordinator import Coordinator
 from repro.core.selection import SelectionPolicy
 from repro.metrics.records import RoundRecord, RunResult
+from repro.parallel.tasks import LocalTrainTask
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.engine import Simulator
+from repro.sim.executor import make_executor
 from repro.sim.trace import TraceRecorder
 
 
@@ -74,7 +76,24 @@ class HADFLTrainer:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.volume = CommVolumeAccountant()
         self.sim = Simulator()
+        # Local-training backend: the cluster's executor unless the
+        # HADFL params override it (both are bitwise-identical to serial).
+        if self.params.executor is None:
+            self.executor = cluster.executor
+            self._owns_executor = False
+        else:
+            self.executor = make_executor(
+                self.params.executor, self.params.executor_workers
+            )
+            self._owns_executor = True
         self._global_params = np.array(cluster.initial_params, copy=True)
+
+    def close(self) -> None:
+        """Release a params-override executor's workers (cluster-owned
+        executors are closed by ``cluster.close()``).  Idempotent; the
+        trainer stays usable — pools rebuild lazily."""
+        if self._owns_executor:
+            self.executor.close()
 
     # ------------------------------------------------------------------ #
     def _mutual_negotiation(self) -> Dict[int, float]:
@@ -83,15 +102,27 @@ class HADFLTrainer:
         Devices run in parallel; the phase ends when the slowest finishes
         (a synchronisation barrier before the first strategy is built).
         """
-        calc_times: Dict[int, float] = {}
         start = self.sim.now
         warmup = max(1, self.params.warmup_epochs)
-        for device in self.cluster.alive_devices(start):
-            t_i, _ = device.measure_calculation_time(warmup, start_time=start)
+        alive = self.cluster.alive_devices(start)
+        if not alive:
+            raise RuntimeError("no devices alive at negotiation time")
+        bursts = self.executor.run_tasks(
+            self.cluster,
+            [
+                LocalTrainTask(
+                    device_id=device.device_id,
+                    num_steps=warmup * device.cycler.batches_per_epoch,
+                    start_time=start,
+                )
+                for device in alive
+            ],
+        )
+        calc_times: Dict[int, float] = {}
+        for device in alive:
+            t_i = bursts[device.device_id].elapsed
             calc_times[device.device_id] = t_i
             self.trace.record(start + t_i, "negotiation_done", device.device_id, T_i=t_i)
-        if not calc_times:
-            raise RuntimeError("no devices alive at negotiation time")
         self.sim.advance_to(start + max(calc_times.values()))
         return calc_times
 
@@ -201,21 +232,34 @@ class HADFLTrainer:
         # strategy's E_k budgets are the coordinator's *expectations* and
         # feed the selection estimates, they do not clamp the devices —
         # clamping to a forecast would let prediction error throttle real
-        # compute capacity.
+        # compute capacity.  Bursts are independent until the sync
+        # barrier, so the executor may run them concurrently.
+        bursts = self.executor.run_tasks(
+            cluster,
+            [
+                # A device that disconnects mid-window stops computing at
+                # the moment it drops; the ring repair handles it at sync
+                # time.
+                LocalTrainTask(
+                    device_id=device_id,
+                    deadline=min(
+                        deadline,
+                        cluster.failures.next_down_time(device_id, t_start),
+                    ),
+                    start_time=t_start,
+                )
+                for device_id in available
+            ],
+        )
         losses, steps = [], []
+        bytes_before = self.volume.total_bytes
         for device_id in available:
-            device = cluster.device_by_id(device_id)
-            # A device that disconnects mid-window stops computing at the
-            # moment it drops; the ring repair handles it at sync time.
-            effective_deadline = min(
-                deadline, cluster.failures.next_down_time(device_id, t_start)
-            )
-            burst = device.train_until(effective_deadline, start_time=t_start)
+            burst = bursts[device_id]
             if burst.steps:
                 losses.extend(burst.losses)
                 steps.append(burst.steps)
             self.trace.record(
-                device.busy_until,
+                cluster.device_by_id(device_id).busy_until,
                 "local_training_done",
                 device_id,
                 steps=burst.steps,
@@ -286,8 +330,12 @@ class HADFLTrainer:
             train_loss=float(np.mean(losses)) if losses else float("nan"),
             selected=list(selected),
             versions=versions,
-            comm_bytes=sync_result.bytes_sent
-            + cluster.model_nbytes * len([d for d in available if d not in selected]),
+            # Exactly the bytes the accountant recorded this round (sync
+            # plus the broadcasts that actually happened) — charging the
+            # nominal broadcast when no aggregate was produced, or for
+            # receivers dead at delivery time, would drift the record
+            # away from the accountant.
+            comm_bytes=self.volume.total_bytes - bytes_before,
             bypasses=len(sync_result.bypasses),
         )
         if round_index % max(1, eval_every) == 0:

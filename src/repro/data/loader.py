@@ -89,6 +89,32 @@ class BatchCycler:
     def batches_per_epoch(self) -> int:
         return max(1, len(self.dataset) // self.batch_size)
 
+    def get_state(self) -> dict:
+        """Snapshot of everything a burst of :meth:`next_batch` mutates.
+
+        Together with :meth:`set_state` this is the executor round-trip
+        contract: restoring a snapshot and replaying the same number of
+        ``next_batch`` calls yields bitwise-identical batches, including
+        reshuffle points (the permutation RNG state travels too).
+        """
+        return {
+            "order": self._order.copy(),
+            "cursor": self._cursor,
+            "samples_consumed": self.samples_consumed,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        order = np.asarray(state["order"])
+        if order.shape != self._order.shape:
+            raise ValueError(
+                f"order has {order.size} indices, expected {self._order.size}"
+            )
+        self._order = order.copy()
+        self._cursor = int(state["cursor"])
+        self.samples_consumed = int(state["samples_consumed"])
+        self._rng.bit_generator.state = state["rng_state"]
+
     def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return the next mini-batch, reshuffling across epoch boundaries."""
         n = len(self.dataset)

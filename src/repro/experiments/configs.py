@@ -120,6 +120,11 @@ class ExperimentConfig:
     seed: int = 0
     fedavg_local_steps: Optional[int] = None
 
+    # Execution backend (bitwise-identical to serial on fixed seeds;
+    # affects wall-clock only, never the trajectory)
+    executor: str = "serial"
+    executor_workers: Optional[int] = None
+
     def __post_init__(self):
         if self.num_selected > len(self.power_ratio):
             raise ValueError(
@@ -215,6 +220,8 @@ class ExperimentConfig:
             network=self.make_network(),
             failure_injector=failure_injector,
             seed=self.seed + seed_offset,
+            executor=self.executor,
+            executor_workers=self.executor_workers,
         )
 
     def hadfl_params(self) -> HADFLParams:

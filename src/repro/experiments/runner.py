@@ -51,9 +51,16 @@ def run_scheme(
         )
     else:
         raise KeyError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
-    return trainer.run(
-        target_epochs=config.target_epochs, eval_every=config.eval_every
-    )
+    try:
+        return trainer.run(
+            target_epochs=config.target_epochs, eval_every=config.eval_every
+        )
+    finally:
+        # Reap executor resources (parallel backends hold worker
+        # processes / thread pools); serial is a no-op.
+        if hasattr(trainer, "close"):
+            trainer.close()
+        cluster.close()
 
 
 def run_all_schemes(

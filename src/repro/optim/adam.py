@@ -112,6 +112,20 @@ class Adam(Optimizer):
         w -= a
 
     # ------------------------------------------------------------------ #
+    def flat_state(self):
+        # _m/_v are reshaped views of the flat vectors.
+        return [self._flat_m, self._flat_v]
+
+    def scalar_state(self) -> dict:
+        state = super().scalar_state()
+        state["t"] = self._t
+        return state
+
+    def load_scalar_state(self, state: dict) -> None:
+        super().load_scalar_state(state)
+        self._t = int(state["t"])
+
+    # ------------------------------------------------------------------ #
     def reset_state(self) -> None:
         self._flat_m[:] = 0.0
         self._flat_v[:] = 0.0

@@ -208,6 +208,27 @@ class Optimizer:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
+    # Executor state round-trip (see repro.sim.executor)
+    # ------------------------------------------------------------------ #
+    def flat_state(self) -> List[np.ndarray]:
+        """Live references to the dense fp64 state vectors of this optimizer.
+
+        Parallel execution backends copy these across process boundaries
+        (shared memory) and write results back *in place* — subclasses
+        with large state (momentum, Adam moments) must expose every such
+        vector here or the state silently diverges off the serial path.
+        """
+        return []
+
+    def scalar_state(self) -> dict:
+        """Small mutable state that must round-trip across executors."""
+        return {"lr": self.lr, "step_count": self._step_count}
+
+    def load_scalar_state(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+
+    # ------------------------------------------------------------------ #
     def state_dict(self) -> dict:
         return {"lr": self.lr, "step_count": self._step_count}
 

@@ -110,6 +110,12 @@ class SGD(Optimizer):
             param.data -= self.lr * grad
 
     # ------------------------------------------------------------------ #
+    def flat_state(self):
+        # _buffers are reshaped views of _flat_buf, so the one vector is
+        # the single source of truth for both update paths.
+        return [] if self._flat_buf is None else [self._flat_buf]
+
+    # ------------------------------------------------------------------ #
     def reset_state(self) -> None:
         """Drop momentum buffers (used after federated model replacement)."""
         if self._flat_buf is not None:

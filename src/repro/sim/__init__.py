@@ -20,6 +20,13 @@ from repro.sim.device import Device, DeviceSpec
 from repro.sim.network import HeterogeneousNetworkModel, NetworkModel
 from repro.sim.failures import FailureInjector, FailureWindow
 from repro.sim.trace import TraceRecorder
+from repro.sim.executor import (
+    LocalExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.sim.cluster import SimulatedCluster
 
 __all__ = [
@@ -33,4 +40,9 @@ __all__ = [
     "FailureWindow",
     "TraceRecorder",
     "SimulatedCluster",
+    "LocalExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
 ]

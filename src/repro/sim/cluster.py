@@ -22,7 +22,9 @@ from repro.nn.module import Module
 from repro.optim.base import Optimizer
 from repro.optim.lr_schedules import LRSchedule
 from repro.optim.sgd import SGD
-from repro.sim.device import Device, DeviceSpec
+from repro.parallel.tasks import LocalTrainTask
+from repro.sim.device import Device, DeviceSpec, LocalTrainResult
+from repro.sim.executor import LocalExecutor, make_executor
 from repro.sim.failures import FailureInjector
 from repro.sim.network import NetworkModel
 
@@ -54,6 +56,14 @@ class SimulatedCluster:
     seed:
         Master seed; initial model, shards, device RNG streams and ring
         shuffles all derive from it deterministically.
+    executor:
+        Local-training execution backend: ``"serial"`` (default),
+        ``"thread"``, ``"process"``, or a ready
+        :class:`~repro.sim.executor.LocalExecutor` instance.  Every
+        backend is bitwise-identical to serial on fixed seeds.
+    executor_workers:
+        Worker count for the parallel backends (``None``: one per device,
+        capped at the CPU count).
     """
 
     def __init__(
@@ -70,6 +80,8 @@ class SimulatedCluster:
         network: Optional[NetworkModel] = None,
         failure_injector: Optional[FailureInjector] = None,
         seed: int = 0,
+        executor="serial",
+        executor_workers: Optional[int] = None,
     ):
         if not specs:
             raise ValueError("need at least one device spec")
@@ -83,6 +95,7 @@ class SimulatedCluster:
         self.failures = failure_injector or FailureInjector()
         self.lr_schedule = lr_schedule
         self.seed = seed
+        self.executor: LocalExecutor = make_executor(executor, executor_workers)
         self.rng = np.random.default_rng(seed)
         optimizer_factory = optimizer_factory or (lambda params: SGD(params, lr=0.01))
 
@@ -151,6 +164,22 @@ class SimulatedCluster:
         return [
             d for d in self.devices if self.failures.is_alive(d.device_id, time)
         ]
+
+    # ------------------------------------------------------------------ #
+    def run_local_tasks(
+        self, tasks: Sequence[LocalTrainTask]
+    ) -> dict[int, LocalTrainResult]:
+        """Execute a batch of local-training bursts via the cluster's
+        executor, leaving the devices exactly as serial execution would."""
+        return self.executor.run_tasks(self, tasks)
+
+    def close(self) -> None:
+        """Release executor resources (worker processes / thread pools).
+
+        Safe to call repeatedly; the cluster stays usable — parallel
+        backends rebuild their pools lazily on the next batch.
+        """
+        self.executor.close()
 
     @property
     def total_train_samples(self) -> int:

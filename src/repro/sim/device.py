@@ -244,6 +244,53 @@ class Device:
         return result.elapsed, result
 
     # ------------------------------------------------------------------ #
+    # Executor state round-trip
+    # ------------------------------------------------------------------ #
+    def _module_rngs(self) -> List[np.random.Generator]:
+        """Per-layer generators that draw at forward time (e.g. Dropout)."""
+        return [
+            module._rng
+            for module in self.model.modules()
+            if isinstance(getattr(module, "_rng", None), np.random.Generator)
+        ]
+
+    def export_train_state(self) -> dict:
+        """Everything a training burst mutates *except* the arena and the
+        optimizer's flat vectors (those are large and travel through
+        shared memory — see :mod:`repro.parallel`).
+
+        Restoring this snapshot on an architecture-identical replica and
+        replaying the same burst reproduces the serial trajectory
+        bitwise: batch order, jitter draws, dropout masks, LR schedule
+        position and version counters all round-trip exactly.
+        """
+        return {
+            "version": self.version,
+            "busy_until": self.busy_until,
+            "rng_state": self._rng.bit_generator.state,
+            "cycler": self.cycler.get_state(),
+            "optimizer": self.optimizer.scalar_state(),
+            "module_rng_states": [
+                rng.bit_generator.state for rng in self._module_rngs()
+            ],
+        }
+
+    def import_train_state(self, state: dict) -> None:
+        self.version = int(state["version"])
+        self.busy_until = float(state["busy_until"])
+        self._rng.bit_generator.state = state["rng_state"]
+        self.cycler.set_state(state["cycler"])
+        self.optimizer.load_scalar_state(state["optimizer"])
+        module_rngs = self._module_rngs()
+        saved = state["module_rng_states"]
+        if len(saved) != len(module_rngs):
+            raise ValueError(
+                f"{len(saved)} module RNG states for {len(module_rngs)} modules"
+            )
+        for rng, rng_state in zip(module_rngs, saved):
+            rng.bit_generator.state = rng_state
+
+    # ------------------------------------------------------------------ #
     # Parameters
     # ------------------------------------------------------------------ #
     def get_params(self) -> np.ndarray:

@@ -16,8 +16,32 @@ pay off.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
+
+# Wire granularity of ring segments: payloads split on scalar boundaries
+# (4 bytes on the wire, see repro.comm.params.WIRE_BYTES_PER_SCALAR), so
+# the largest segment of an uneven split carries ceil(n/K) scalars.
+_SEGMENT_GRANULARITY_BYTES = 4
+
+
+def ring_step_segment_bytes(nbytes: float, num_nodes: int) -> float:
+    """Bytes of the *largest* segment in one ring step.
+
+    The two-phase ring schedule (see ``repro.comm.allreduce``) splits the
+    vector into ``num_nodes`` contiguous segments on scalar boundaries;
+    when the split is uneven the first ``n % K`` segments are one scalar
+    longer.  All ``num_nodes`` transfers of a step run concurrently, so
+    the step completes when the largest segment lands — which is what a
+    time model must price.  Matches the byte accounting of
+    :func:`repro.comm.allreduce.ring_allreduce_detailed` exactly.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    scalars = nbytes / _SEGMENT_GRANULARITY_BYTES
+    return math.ceil(scalars / num_nodes) * _SEGMENT_GRANULARITY_BYTES
 
 
 @dataclass(frozen=True)
@@ -62,16 +86,21 @@ class NetworkModel:
     def ring_allreduce_time(self, nbytes: float, num_nodes: int) -> float:
         """Ring all-reduce (reduce-scatter + all-gather) on ``num_nodes``.
 
-        2*(K-1) steps, each moving a 1/K segment:
-        ``2 (K-1) (alpha + (n/K)/beta)`` — bandwidth-optimal, the schedule
-        PyTorch-DDP/Horovod use (paper baseline [12]).
+        2*(K-1) steps, each gated by its largest in-flight segment:
+        ``2 (K-1) (alpha + ceil(n/K)/beta)`` — bandwidth-optimal, the
+        schedule PyTorch-DDP/Horovod use (paper baseline [12]).  The
+        ceil matches the byte accounting of
+        :func:`repro.comm.allreduce.ring_allreduce_detailed`: when the
+        vector does not divide evenly, some segments are one scalar
+        longer and the step waits for them.
         """
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         if num_nodes == 1:
             return 0.0
         steps = 2 * (num_nodes - 1)
-        return steps * (self.latency + (nbytes / num_nodes) / self.bandwidth)
+        seg_bytes = ring_step_segment_bytes(nbytes, num_nodes)
+        return steps * (self.latency + seg_bytes / self.bandwidth)
 
     def gossip_ring_time(self, nbytes: float, num_selected: int) -> float:
         """Scatter-gather gossip among the ``N_p`` selected devices.
@@ -177,4 +206,5 @@ class HeterogeneousNetworkModel(NetworkModel):
         worst_bandwidth = min(self.effective_bandwidth(d) for d in ids)
         worst_latency = max(self.effective_latency(d) for d in ids)
         steps = 2 * (len(ids) - 1)
-        return steps * (worst_latency + (nbytes / len(ids)) / worst_bandwidth)
+        seg_bytes = ring_step_segment_bytes(nbytes, len(ids))
+        return steps * (worst_latency + seg_bytes / worst_bandwidth)

@@ -30,12 +30,22 @@ class TestSelectionProbabilityLaw:
     @settings(max_examples=60, deadline=None)
     def test_shift_invariance(self, versions, shift):
         """Adding a constant to every version cannot change the law —
-        only relative staleness matters."""
+        only relative staleness matters.
+
+        The invariance holds in exact arithmetic; in fp64 the shift
+        itself quantises away spreads near the magnitude's ulp (e.g. a
+        1e-119 spread shifted by 1.0 collapses to zero), so examples
+        whose spread the shift cannot represent are excluded and the
+        tolerance covers the surviving rounding of ~ulp(|shift|)/spread.
+        """
+        values = list(versions.values())
+        spread = max(values) - min(values)
+        assume(spread == 0.0 or spread >= 1e-3)
         shifted = {k: v + shift for k, v in versions.items()}
         a = gaussian_quartile_probabilities(versions)
         b = gaussian_quartile_probabilities(shifted)
         for key in a:
-            assert abs(a[key] - b[key]) < 1e-9
+            assert abs(a[key] - b[key]) < 1e-6
 
     @given(version_dicts, st.floats(min_value=0.1, max_value=50, allow_nan=False))
     @settings(max_examples=60, deadline=None)

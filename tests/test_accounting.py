@@ -1,0 +1,167 @@
+"""Communication-accounting invariants.
+
+Two drift bugs are pinned here:
+
+* ``RoundRecord.comm_bytes`` used to charge a nominal broadcast for every
+  unselected device even when no aggregate existed (``aggregated is
+  None``) or the receiver was dead at delivery time — while the
+  :class:`~repro.comm.volume.CommVolumeAccountant` correctly skipped
+  them.  The record is now derived from the accountant's per-round
+  delta, so the two can never disagree again.
+* ``ring_allreduce_detailed`` used to price every segment at
+  ``ceil(n/k)`` scalars, overcounting whenever ``n % k != 0``; bytes now
+  come from the actual per-step segment sizes, and the network time
+  model prices each step by its largest in-flight segment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.allreduce import ring_allreduce_detailed
+from repro.core import HADFLTrainer
+from repro.core.selection import ForcedWorstSelection
+from repro.experiments import ExperimentConfig
+from repro.sim import FailureInjector, NetworkModel
+
+RNG = np.random.default_rng(7)
+
+
+def _config(**overrides):
+    defaults = dict(
+        model="mlp", num_train=256, num_test=128, image_size=8,
+        target_epochs=4.0, seed=3,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def _run(config, failure_injector=None, selection=None):
+    cluster = config.make_cluster(failure_injector=failure_injector)
+    trainer = HADFLTrainer(
+        cluster, params=config.hadfl_params(), selection=selection,
+        seed=config.seed,
+    )
+    result = trainer.run(target_epochs=config.target_epochs)
+    return result, trainer
+
+
+def _assert_record_accountant_agree(result, trainer):
+    """The one invariant: every byte the accountant saw after the initial
+    dispatch is attributed to exactly one round record."""
+    by_kind = trainer.volume.bytes_by_kind()
+    initial_dispatch = by_kind["initial_dispatch"]
+    assert (
+        sum(r.comm_bytes for r in result.rounds) + initial_dispatch
+        == trainer.volume.total_bytes
+    )
+
+
+def _per_round_sync_and_broadcasts(trainer):
+    """Group post-dispatch accountant records into rounds.
+
+    Record order is deterministic: ``initial_dispatch``, then per round
+    one ``partial_sync`` followed by that round's ``broadcast`` records.
+    """
+    rounds = []
+    for record in trainer.volume.records():
+        if record.kind == "initial_dispatch":
+            continue
+        if record.kind == "partial_sync":
+            rounds.append({"sync": record.nbytes, "broadcasts": 0})
+        elif record.kind == "broadcast":
+            rounds[-1]["broadcasts"] += 1
+    return rounds
+
+
+class TestRoundRecordInvariant:
+    def test_clean_run_record_matches_accountant(self):
+        result, trainer = _run(_config())
+        assert len(result.rounds) >= 2
+        _assert_record_accountant_agree(result, trainer)
+
+    def test_jittered_run_record_matches_accountant(self):
+        result, trainer = _run(_config(jitter=0.15, seed=9, target_epochs=5.0))
+        _assert_record_accountant_agree(result, trainer)
+
+    def test_dead_receiver_is_not_charged(self):
+        """Device 0 (never selected under forced-worst) drops mid-window:
+        the broadcast loop skips it, and comm_bytes must skip it too —
+        the old ``sync + M * |unselected|`` formula would not have."""
+        failures = FailureInjector()
+        failures.fail(0, down_at=3.0, up_at=30.0)
+        result, trainer = _run(
+            _config(), failure_injector=failures, selection=ForcedWorstSelection()
+        )
+        _assert_record_accountant_agree(result, trainer)
+        model_nbytes = trainer.cluster.model_nbytes
+        rounds = _per_round_sync_and_broadcasts(trainer)
+        drifted = 0
+        for record, accounted in zip(result.rounds, rounds):
+            unselected = len(record.versions) - len(record.selected)
+            old_formula = accounted["sync"] + model_nbytes * unselected
+            actual = accounted["sync"] + model_nbytes * accounted["broadcasts"]
+            assert record.comm_bytes == actual
+            if accounted["broadcasts"] < unselected:
+                drifted += 1
+                assert record.comm_bytes < old_formula
+        assert drifted >= 1, "no round exercised a skipped broadcast"
+
+    def test_no_aggregate_round_counts_zero_bytes(self):
+        """Both forced-worst-selected devices die mid-window: the sync
+        has no survivors, no aggregate, no broadcast — the round's
+        comm_bytes must be exactly the bytes that moved (zero)."""
+        failures = FailureInjector()
+        failures.fail(2, down_at=3.0, up_at=30.0)
+        failures.fail(3, down_at=3.0, up_at=30.0)
+        result, trainer = _run(
+            _config(target_epochs=5.0),
+            failure_injector=failures,
+            selection=ForcedWorstSelection(),
+        )
+        _assert_record_accountant_agree(result, trainer)
+        empty_sync_rounds = [
+            r
+            for r in result.rounds
+            if r.selected and r.comm_bytes == 0 and len(r.versions) > len(r.selected)
+        ]
+        assert empty_sync_rounds, "no round hit the aggregated-is-None path"
+
+
+class TestRingAllReduceBytes:
+    def test_uneven_split_exact_total(self):
+        k, n = 4, 10  # segments [3, 3, 2, 2]
+        vectors = [RNG.normal(size=n) for _ in range(k)]
+        result, stats = ring_allreduce_detailed(vectors)
+        np.testing.assert_allclose(result, np.mean(vectors, axis=0), atol=1e-12)
+        # Each of the 2(k-1) steps moves the whole vector exactly once
+        # across the ring: no ceil inflation.
+        assert stats.total_bytes == 2 * (k - 1) * n * 4
+        assert stats.bytes_sent_by_node == (60, 64, 60, 56)
+        assert sum(stats.bytes_sent_by_node) == stats.total_bytes
+        assert stats.bytes_sent_per_node == max(stats.bytes_sent_by_node)
+        # The old per-segment ceil pricing overcounted this case.
+        old_total = 2 * (k - 1) * int(np.ceil(n / k)) * 4 * k
+        assert stats.total_bytes < old_total
+
+    @pytest.mark.parametrize("k,n", [(3, 7), (4, 10), (5, 2), (6, 33), (7, 100)])
+    def test_total_is_exactly_two_vector_sweeps(self, k, n):
+        vectors = [RNG.normal(size=n) for _ in range(k)]
+        _, stats = ring_allreduce_detailed(vectors)
+        assert stats.total_bytes == 2 * (k - 1) * n * 4
+        assert sum(stats.bytes_sent_by_node) == stats.total_bytes
+
+    def test_divisible_split_matches_uniform_formula(self):
+        k, n = 4, 100
+        vectors = [RNG.normal(size=n) for _ in range(k)]
+        _, stats = ring_allreduce_detailed(vectors)
+        per_node = 2 * (k - 1) * (n // k) * 4
+        assert stats.bytes_sent_by_node == (per_node,) * k
+        assert stats.bytes_sent_per_node == per_node
+
+    def test_time_model_prices_largest_segment(self):
+        net = NetworkModel(latency=0.0, bandwidth=1.0)
+        # 10 scalars (40 B) over 4 nodes: the largest segment holds
+        # ceil(10/4) = 3 scalars = 12 B and gates each of the 6 steps.
+        assert net.ring_allreduce_time(40, 4) == pytest.approx(2 * 3 * 12)
+        # Evenly divisible payloads keep the classic n/K pricing.
+        assert net.ring_allreduce_time(400, 4) == pytest.approx(2 * 3 * 100)
