@@ -26,7 +26,7 @@ def _run():
     config = bench_config(
         model="resnet_mini",
         power_ratio=HETEROGENEITY_3311,
-        device_bandwidth={THROTTLED_DEVICE: 5e4},  # vs 2e6 default
+        device_bandwidth={THROTTLED_DEVICE: 1e5},  # vs 4e6 default
         target_epochs=min(10.0, bench_config().target_epochs),
     )
     stock_cluster = config.make_cluster()

@@ -1,0 +1,121 @@
+"""Wire-format benchmark: accuracy vs communication volume per wire dtype.
+
+Runs the canonical HADFL configuration once per wire format (fp64, fp32,
+fp16) on identically-seeded clusters and records the trade every
+compressed collective makes: total simulated bytes and virtual time
+shrink with the wire width while cast error enters every sync.  Verifies
+the pricing contract on the side:
+
+* fp64 (default) is lossless — zero cast error in every round — and
+  prices 8 B/scalar;
+* fp32/fp16 totals are exactly 1/2 and 1/4 of the fp64 bytes;
+* the PR-2 accounting invariant (``sum(comm_bytes) + initial_dispatch ==
+  accountant.total_bytes``) holds for every dtype.
+
+Writes ``benchmarks/results/wire.json`` and the repo-root trajectory
+artefact ``BENCH_wire.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wire.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core import HADFLTrainer  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    ExperimentConfig,
+    format_wire_sweep,
+    run_wire_sweep,
+)
+
+WIRE_DTYPES = ("fp64", "fp32", "fp16")
+
+
+def _config(quick: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        model="mlp",
+        num_train=256 if quick else 512,
+        num_test=128 if quick else 256,
+        image_size=8,
+        target_epochs=3.0 if quick else 8.0,
+        seed=3,
+    )
+
+
+def _check_invariant(config: ExperimentConfig, wire_dtype: str) -> None:
+    """The accounting invariant must hold under every wire dtype."""
+    cluster = config.with_overrides(wire_dtype=wire_dtype).make_cluster()
+    trainer = HADFLTrainer(cluster, params=config.hadfl_params(), seed=config.seed)
+    result = trainer.run(target_epochs=config.target_epochs)
+    dispatch = trainer.volume.bytes_by_kind()["initial_dispatch"]
+    total = sum(r.comm_bytes for r in result.rounds) + dispatch
+    assert total == trainer.volume.total_bytes, (
+        f"accounting invariant broken on {wire_dtype}: "
+        f"{total} != {trainer.volume.total_bytes}"
+    )
+
+
+def main(quick: bool = False) -> dict:
+    config = _config(quick)
+    cells = run_wire_sweep(config, wire_dtypes=WIRE_DTYPES)
+    by_dtype = {cell.wire_dtype: cell for cell in cells}
+
+    # Contract checks (cheap relative to the sweep itself).
+    assert by_dtype["fp64"].max_cast_error == 0.0, "fp64 wire must be lossless"
+    fp64_bytes = by_dtype["fp64"].total_comm_bytes
+    assert by_dtype["fp32"].total_comm_bytes * 2 == fp64_bytes, (
+        "fp32 wire must halve the fp64 byte total"
+    )
+    assert by_dtype["fp16"].total_comm_bytes * 4 == fp64_bytes, (
+        "fp16 wire must quarter the fp64 byte total"
+    )
+    assert by_dtype["fp32"].max_cast_error > 0.0
+    assert by_dtype["fp16"].max_cast_error > by_dtype["fp32"].max_cast_error
+    for wire_dtype in ("fp64", "fp32"):
+        _check_invariant(config, wire_dtype)
+
+    table = format_wire_sweep(cells)
+    print(table)
+    payload = {
+        "bench": "wire",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "quick": quick,
+        "config": {
+            "model": config.model,
+            "num_train": config.num_train,
+            "target_epochs": config.target_epochs,
+            "seed": config.seed,
+        },
+        "cells": [asdict(cell) for cell in cells],
+        "table": table,
+    }
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "wire.json").write_text(json.dumps(payload, indent=2))
+    out = REPO_ROOT / "BENCH_wire.json"
+    out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {out}")
+    return payload
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    main(quick=parser.parse_args().quick)

@@ -4,14 +4,14 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick]
 
-Runs :mod:`bench_hotpath` and :mod:`bench_parallel` and writes the
-artefacts:
+Runs :mod:`bench_hotpath`, :mod:`bench_parallel` and :mod:`bench_wire`
+and writes the artefacts:
 
-* ``benchmarks/results/hotpath.json`` / ``results/parallel.json`` — raw
-  measurements;
-* ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` at the repo root —
-  the same numbers plus run metadata, the files future PRs diff to track
-  the perf trajectory.
+* ``benchmarks/results/hotpath.json`` / ``results/parallel.json`` /
+  ``results/wire.json`` — raw measurements;
+* ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` / ``BENCH_wire.json``
+  at the repo root — the same numbers plus run metadata, the files
+  future PRs diff to track the perf trajectory.
 
 ``--quick`` shrinks repeat counts for CI smoke runs (numbers are then
 noisy; only the bitwise-equality checks are meaningful).
@@ -36,6 +36,7 @@ import numpy as np  # noqa: E402
 
 import bench_hotpath  # noqa: E402
 import bench_parallel  # noqa: E402
+import bench_wire  # noqa: E402
 
 
 def main(quick: bool = False) -> dict:
@@ -53,9 +54,10 @@ def main(quick: bool = False) -> dict:
     out.write_text(json.dumps(payload, indent=2))
     print(f"wrote {out}")
     parallel = bench_parallel.main(quick=quick)
+    wire = bench_wire.main(quick=quick)
     # Each bench persists its own artefact; the merged dict is only the
     # in-process return value.
-    return {"hotpath": payload, "parallel": parallel}
+    return {"hotpath": payload, "parallel": parallel, "wire": wire}
 
 
 if __name__ == "__main__":

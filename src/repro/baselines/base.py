@@ -31,6 +31,7 @@ class SchemeTrainer:
         trace: Optional[TraceRecorder] = None,
     ):
         self.cluster = cluster
+        self.wire = cluster.wire
         self.sim = Simulator()
         self.volume = CommVolumeAccountant()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
@@ -100,6 +101,7 @@ class SchemeTrainer:
             config={
                 "power_ratio": [s.power for s in self.cluster.specs],
                 "model_nbytes": self.cluster.model_nbytes,
+                "wire_dtype": self.wire.name,
             },
         )
         round_index = 0

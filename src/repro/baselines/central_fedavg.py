@@ -72,16 +72,27 @@ class CentralizedFedAvgTrainer(SchemeTrainer):
             slowest = max(slowest, burst.elapsed)
         barrier = t_start + slowest
 
-        # Upload: K sequential receptions serialise at the server; then
-        # aggregation (Eq. 4) and K sequential downloads.
+        # Upload: K sequential receptions serialise at the server — the
+        # server only sees what survived the wire cast; then aggregation
+        # (Eq. 4) and K sequential downloads, cast again on the way out.
         upload = cluster.network.sequential_sends_time(m, k)
         shard_sizes = np.array([len(d.cycler.dataset) for d in devices], dtype=float)
         weights = shard_sizes / shard_sizes.sum()  # n_k / N weighting (Eq. 2)
-        stacked = np.stack([d.get_params_view() for d in devices])
+        wire_cast_error = 0.0
+        uploads = []
+        for device in devices:
+            received, err = self.wire.transmit_with_error(
+                device.get_params_view()
+            )
+            wire_cast_error = max(wire_cast_error, err)
+            uploads.append(received)
+        stacked = np.stack(uploads)
         averaged = np.tensordot(weights, stacked, axes=1)
         download = cluster.network.sequential_sends_time(m, k)
+        downloaded, err = self.wire.transmit_with_error(averaged)
+        wire_cast_error = max(wire_cast_error, err)
         for device in devices:
-            device.set_params(averaged)
+            device.set_params(downloaded)
         self._global_params = averaged
 
         round_server_bytes = 2 * k * m  # the Sec. II-B per-round volume
@@ -97,4 +108,8 @@ class CentralizedFedAvgTrainer(SchemeTrainer):
             train_loss=float(np.mean(losses)) if losses else float("nan"),
             versions={d.device_id: d.version for d in devices},
             comm_bytes=round_server_bytes,
+            detail={
+                "wire_dtype": self.wire.name,
+                "wire_cast_error": wire_cast_error,
+            },
         )

@@ -35,6 +35,7 @@ class DistributedTrainer(SchemeTrainer):
         )
         losses = []
         round_bytes = 0
+        wire_cast_error = 0.0
         for _ in range(iterations):
             t_iter = self.sim.now
             bursts = self.train_all_devices(1, t_iter)
@@ -44,12 +45,13 @@ class DistributedTrainer(SchemeTrainer):
                 slowest = max(slowest, burst.elapsed)
                 losses.append(burst.mean_loss)
             vectors = [d.get_params_view() for d in devices]
-            averaged, stats = ring_allreduce_detailed(vectors)
+            averaged, stats = ring_allreduce_detailed(vectors, wire=self.wire)
             for device in devices:
                 device.set_params(averaged)
             self._global_params = averaged
             self.volume.record(t_iter, stats.total_bytes, "ring_allreduce")
             round_bytes += stats.total_bytes
+            wire_cast_error = max(wire_cast_error, stats.max_cast_error)
             self.sim.advance_to(t_iter + slowest + allreduce_time)
 
         return RoundRecord(
@@ -59,4 +61,8 @@ class DistributedTrainer(SchemeTrainer):
             train_loss=float(np.mean(losses)) if losses else float("nan"),
             versions={d.device_id: d.version for d in devices},
             comm_bytes=round_bytes,
+            detail={
+                "wire_dtype": self.wire.name,
+                "wire_cast_error": wire_cast_error,
+            },
         )

@@ -64,9 +64,10 @@ class DecentralizedFedAvgTrainer(SchemeTrainer):
         barrier = t_start + slowest
 
         # Synchronous gossip merge over all K devices (ring schedule);
-        # arena views — the ring copies into its node buffers on ingest.
+        # arena views — the ring copies into its node buffers on ingest,
+        # and every exchanged segment crosses the wire format.
         vectors = [d.get_params_view() for d in devices]
-        averaged, stats = ring_allreduce_detailed(vectors)
+        averaged, stats = ring_allreduce_detailed(vectors, wire=self.wire)
         for device in devices:
             device.set_params(averaged)
         self._global_params = averaged
@@ -83,4 +84,8 @@ class DecentralizedFedAvgTrainer(SchemeTrainer):
             train_loss=float(np.mean(losses)) if losses else float("nan"),
             versions={d.device_id: d.version for d in devices},
             comm_bytes=stats.total_bytes,
+            detail={
+                "wire_dtype": self.wire.name,
+                "wire_cast_error": stats.max_cast_error,
+            },
         )

@@ -35,6 +35,7 @@ from repro.experiments import (
     run_table1,
 )
 from repro.experiments.runner import SCHEMES
+from repro.comm.wire import available_wire_formats
 from repro.metrics import ascii_plot, comparison_table, series_from_results
 from repro.nn.models import available_models
 
@@ -86,6 +87,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker count for the thread/process executor "
         "(default: one per device, capped at CPU count)",
     )
+    parser.add_argument(
+        "--wire-dtype",
+        default="fp64",
+        choices=available_wire_formats(),
+        help="wire format of every simulated transfer: payload cast + "
+        "byte pricing (fp64 = lossless passthrough at 8 B/scalar)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -104,6 +112,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         executor=args.executor,
         executor_workers=args.workers,
+        wire_dtype=args.wire_dtype,
     )
 
 
@@ -115,6 +124,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"schemes   : {', '.join(SCHEMES)}")
     print("selection : gaussian_quartile, uniform, latest, worst")
     print("executors : serial, thread, process")
+    print(f"wire      : {', '.join(available_wire_formats())}")
     return 0
 
 

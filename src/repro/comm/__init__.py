@@ -13,8 +13,19 @@ Everything the three training schemes exchange goes through this package:
   protocol of Sec. III-D (timeout → handshake → warn upstream → bypass).
 * :mod:`~repro.comm.volume` — communication-volume accounting and the
   paper's analytic formulas (2·K·M device volume etc.).
+* :mod:`~repro.comm.wire` — the cast-on-the-wire codec: what every
+  payload becomes (fp64/fp32/fp16 cast, quantiser hook) and costs
+  (``bytes_per_scalar``) at every simulated transfer boundary.
 """
 
+from repro.comm.wire import (
+    DEFAULT_WIRE,
+    CastWireFormat,
+    WireFormat,
+    available_wire_formats,
+    get_wire_format,
+    register_wire_format,
+)
 from repro.comm.params import (
     FlatParamCodec,
     ParamArena,
@@ -34,6 +45,12 @@ from repro.comm.ring_repair import FaultTolerantRingSync, RingSyncResult
 from repro.comm.volume import CommVolumeAccountant, fedavg_server_volume, device_volume
 
 __all__ = [
+    "DEFAULT_WIRE",
+    "CastWireFormat",
+    "WireFormat",
+    "available_wire_formats",
+    "get_wire_format",
+    "register_wire_format",
     "FlatParamCodec",
     "ParamArena",
     "get_flat_params",

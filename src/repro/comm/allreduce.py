@@ -5,6 +5,13 @@ all-gather) over explicit per-node segment buffers, not just ``np.mean``:
 the tests verify both the numerical result *and* the schedule's byte
 accounting, because the time model in :class:`repro.sim.NetworkModel`
 prices exactly this schedule.
+
+Every segment a node sends crosses the wire through a
+:class:`~repro.comm.wire.WireFormat`: the receiving buffer only ever sees
+``wire.transmit(segment)`` — what survived the cast — and all byte
+accounting uses ``wire.bytes_per_scalar``.  The default fp64 wire is an
+identity passthrough (bitwise identical to the pre-wire schedule) priced
+at 8 B/scalar.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
+
+from repro.comm.wire import WireFormat, WireSpec, get_wire_format
 
 
 @dataclass(frozen=True)
@@ -23,7 +32,9 @@ class AllReduceStats:
     2(K−1)-step schedule; they differ when the vector does not divide
     evenly into K segments.  ``bytes_sent_per_node`` is the busiest
     node's total (equal for every node when ``n % k == 0``), the figure
-    link-capacity planning cares about.
+    link-capacity planning cares about.  ``max_cast_error`` is the
+    largest absolute difference between any sent segment and what its
+    receiver saw (0.0 on a lossless wire).
     """
 
     num_nodes: int
@@ -32,6 +43,7 @@ class AllReduceStats:
     bytes_sent_per_node: int
     total_bytes: int
     bytes_sent_by_node: Tuple[int, ...] = ()
+    max_cast_error: float = 0.0
 
 
 def _segment_bounds(size: int, num_nodes: int) -> List[slice]:
@@ -47,21 +59,8 @@ def _segment_bounds(size: int, num_nodes: int) -> List[slice]:
     return bounds
 
 
-def ring_allreduce(
-    vectors: Sequence[np.ndarray], average: bool = True
-) -> np.ndarray:
-    """All-reduce ``vectors`` (one per node) and return the shared result."""
-    result, _ = ring_allreduce_detailed(vectors, average=average)
-    return result
-
-
-def ring_allreduce_buffers(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
-    """Run the two-phase ring schedule and return every node's final buffer.
-
-    After all-gather, every buffer holds the elementwise *sum* of the
-    inputs — the tests assert all nodes converge to the same vector, the
-    invariant the time model's 2(K−1)-step count assumes.
-    """
+def _ingest_buffers(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Copy the inputs into per-node fp64 working buffers (shape checks)."""
     if not vectors:
         raise ValueError("need at least one vector")
     buffers = [np.array(v, dtype=np.float64, copy=True) for v in vectors]
@@ -70,40 +69,79 @@ def ring_allreduce_buffers(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
         raise ValueError("all vectors must share a shape")
     if any(b.ndim != 1 for b in buffers):
         raise ValueError("ring all-reduce operates on flat 1-D vectors")
+    return buffers
+
+
+def _run_schedule(buffers: List[np.ndarray], wire: WireFormat) -> float:
+    """Run the two-phase ring schedule in place; return the max cast error.
+
+    Within one ring step, node i sends segment (i - step) while the
+    segment written *into* node i is (i - 1 - step): distinct for k >= 2,
+    so applying the transfers sequentially reads exactly the pre-step
+    state — equivalent to the simultaneous exchange of a real ring step.
+    On the lossless wire ``wire.transmit`` is the identity, so there are
+    no staging copies of the payloads.
+    """
     k = len(buffers)
     n = buffers[0].size
-    if k == 1:
-        return buffers
-
     segments = _segment_bounds(n, k)
-
-    # Within one ring step, node i sends segment (i - step) while the
-    # segment written *into* node i is (i - 1 - step): distinct for k >= 2,
-    # so applying the transfers sequentially reads exactly the pre-step
-    # state — equivalent to the simultaneous exchange of a real ring step,
-    # with no staging copies of the payloads.
+    max_err = 0.0
 
     # Phase 1 — reduce-scatter: after k-1 steps, node i holds the full sum
-    # of segment (i+1) mod k.
+    # of segment (i+1) mod k.  Receivers accumulate the *cast* payload, so
+    # partial sums degrade exactly as they would over a narrow wire.
     for step in range(k - 1):
         for node in range(k):
             seg = segments[(node - step) % k]
-            buffers[(node + 1) % k][seg] += buffers[node][seg]
+            received, err = wire.transmit_with_error(buffers[node][seg])
+            if err > max_err:
+                max_err = err
+            buffers[(node + 1) % k][seg] += received
 
     # Phase 2 — all-gather: circulate the completed segments (node i sends
     # (i + 1 - step) while (i - step) is written into it — again distinct).
     for step in range(k - 1):
         for node in range(k):
             seg = segments[(node + 1 - step) % k]
-            buffers[(node + 1) % k][seg] = buffers[node][seg]
+            received, err = wire.transmit_with_error(buffers[node][seg])
+            if err > max_err:
+                max_err = err
+            buffers[(node + 1) % k][seg] = received
 
+    return max_err
+
+
+def ring_allreduce(
+    vectors: Sequence[np.ndarray],
+    average: bool = True,
+    wire: WireSpec = None,
+) -> np.ndarray:
+    """All-reduce ``vectors`` (one per node) and return the shared result."""
+    result, _ = ring_allreduce_detailed(vectors, average=average, wire=wire)
+    return result
+
+
+def ring_allreduce_buffers(
+    vectors: Sequence[np.ndarray], wire: WireSpec = None
+) -> List[np.ndarray]:
+    """Run the two-phase ring schedule and return every node's final buffer.
+
+    After all-gather, every buffer holds the elementwise *sum* of the
+    inputs as seen through the wire — the tests assert all nodes converge
+    to the same vector on a lossless wire, the invariant the time model's
+    2(K−1)-step count assumes.
+    """
+    buffers = _ingest_buffers(vectors)
+    if len(buffers) == 1:
+        return buffers
+    _run_schedule(buffers, get_wire_format(wire))
     return buffers
 
 
 def ring_allreduce_detailed(
     vectors: Sequence[np.ndarray],
     average: bool = True,
-    bytes_per_scalar: int = 4,
+    wire: WireSpec = None,
 ) -> tuple:
     """Ring all-reduce with explicit per-step simulation and accounting.
 
@@ -113,8 +151,10 @@ def ring_allreduce_detailed(
         One equally-shaped 1-D vector per participating node.
     average:
         Divide by node count at the end (True for model averaging).
-    bytes_per_scalar:
-        Wire width used for the byte accounting.
+    wire:
+        Wire format (name or instance) applied to every sent segment;
+        its ``bytes_per_scalar`` is the wire width of the byte
+        accounting.  ``None``: the lossless fp64 default (8 B/scalar).
 
     Returns
     -------
@@ -122,11 +162,13 @@ def ring_allreduce_detailed(
         ``result`` is the reduced vector every node ends up with;
         ``stats`` is an :class:`AllReduceStats`.
     """
-    buffers = ring_allreduce_buffers(vectors)
+    wire = get_wire_format(wire)
+    buffers = _ingest_buffers(vectors)
     k = len(buffers)
     n = buffers[0].size
     if k == 1:
         return buffers[0], AllReduceStats(1, n, 0, 0, 0, (0,))
+    max_cast_error = _run_schedule(buffers, wire)
     result = buffers[0] / k if average else buffers[0]
 
     # Every node sends one segment per step over 2(k-1) steps; segment
@@ -142,7 +184,7 @@ def ring_allreduce_detailed(
         for step in range(k - 1):
             sent += seg_scalars[(node - step) % k]  # reduce-scatter
             sent += seg_scalars[(node + 1 - step) % k]  # all-gather
-        by_node.append(sent * bytes_per_scalar)
+        by_node.append(sent * wire.bytes_per_scalar)
     stats = AllReduceStats(
         num_nodes=k,
         vector_scalars=n,
@@ -150,5 +192,6 @@ def ring_allreduce_detailed(
         bytes_sent_per_node=max(by_node),
         total_bytes=sum(by_node),
         bytes_sent_by_node=tuple(by_node),
+        max_cast_error=max_cast_error,
     )
     return result, stats

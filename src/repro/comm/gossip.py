@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.comm.allreduce import ring_allreduce_detailed
 from repro.comm.topology import Topology
+from repro.comm.wire import WireSpec
 
 
 def gossip_average(
@@ -44,13 +45,17 @@ def gossip_average(
     return np.tensordot(weights, stacked, axes=1)
 
 
-def gossip_ring_exchange(vectors: Sequence[np.ndarray]) -> tuple:
+def gossip_ring_exchange(
+    vectors: Sequence[np.ndarray], wire: WireSpec = None
+) -> tuple:
     """Scatter-gather averaging with explicit ring schedule + accounting.
 
-    Returns ``(average, stats)`` where stats carries the byte counts the
-    communication-volume report uses.
+    Every exchanged segment crosses the wire through ``wire`` (cast on
+    the wire; ``None`` = lossless fp64).  Returns ``(average, stats)``
+    where stats carries the byte counts the communication-volume report
+    uses plus the max cast error of the exchange.
     """
-    return ring_allreduce_detailed(vectors, average=True)
+    return ring_allreduce_detailed(vectors, average=True, wire=wire)
 
 
 def neighborhood_average(

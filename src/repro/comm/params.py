@@ -20,9 +20,12 @@ Two representations are provided:
   simulator's sync path (``Device.get_params``/``set_params``/
   ``mix_params``) runs entirely on the arena.
 
-The codec also defines the wire size of a model (``nbytes``), which the
-network model uses to price transfers: the paper's communication-volume
-arithmetic (``2·K·M``) is in terms of this M.
+The codec also defines the wire size of a model (``nbytes`` /
+``nbytes_for``), which the network model uses to price transfers: the
+paper's communication-volume arithmetic (``2·K·M``) is in terms of this
+M.  The bytes-per-scalar width comes from the selected
+:class:`~repro.comm.wire.WireFormat` (fp64 default: 8 B/scalar), the same
+codec that casts every simulated payload.
 """
 
 from __future__ import annotations
@@ -31,11 +34,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.comm.wire import WireSpec, get_wire_format
 from repro.nn.module import Module, Parameter
-
-# The paper's GPUs exchange fp32 tensors; our substrate computes in fp64
-# but transfers are priced at 4 bytes/scalar to match the testbed.
-WIRE_BYTES_PER_SCALAR = 4
 
 
 class ParamArena:
@@ -95,8 +95,8 @@ class ParamArena:
 
     @property
     def nbytes(self) -> int:
-        """Wire size of one model copy (the paper's M)."""
-        return self.num_scalars * WIRE_BYTES_PER_SCALAR
+        """Wire size of one model copy (the paper's M) on the default wire."""
+        return get_wire_format().nbytes(self.num_scalars)
 
     def ensure_bound(self) -> None:
         """Re-establish view aliasing if external code rebound a slot.
@@ -229,8 +229,12 @@ class FlatParamCodec:
 
     @property
     def nbytes(self) -> int:
-        """Wire size of one model copy (the paper's M)."""
-        return self.num_scalars * WIRE_BYTES_PER_SCALAR
+        """Wire size of one model copy (the paper's M) on the default wire."""
+        return get_wire_format().nbytes(self.num_scalars)
+
+    def nbytes_for(self, wire: WireSpec) -> int:
+        """Wire size of one model copy under a specific wire format."""
+        return get_wire_format(wire).nbytes(self.num_scalars)
 
     # ------------------------------------------------------------------ #
     def _arena_for(self, module: Module):
@@ -351,6 +355,8 @@ def set_flat_params(
     _cached_codec(module, include_buffers).unflatten(module, flat)
 
 
-def model_nbytes(module: Module, include_buffers: bool = True) -> int:
-    """Wire size of a model's state in bytes."""
-    return _cached_codec(module, include_buffers).nbytes
+def model_nbytes(
+    module: Module, include_buffers: bool = True, wire: WireSpec = None
+) -> int:
+    """Wire size of a model's state in bytes under ``wire`` (default fp64)."""
+    return _cached_codec(module, include_buffers).nbytes_for(wire)

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.comm.gossip import gossip_ring_exchange
+from repro.comm.wire import WireSpec, get_wire_format
 from repro.sim.engine import Simulator
 from repro.sim.network import NetworkModel
 from repro.sim.trace import TraceRecorder
@@ -44,6 +45,8 @@ class RingSyncResult:
     bytes_sent: int
     bypasses: List[Tuple[int, int, int]] = field(default_factory=list)
     """(upstream, dead, downstream) triples for every bypassed device."""
+    max_cast_error: float = 0.0
+    """Largest wire-cast error of any exchanged segment (0.0 lossless)."""
 
     @property
     def duration(self) -> float:
@@ -64,13 +67,22 @@ class FaultTolerantRingSync:
     wait_time:
         The paper's "pre-specified waiting time" before a downstream
         device suspects its upstream.
+    wire:
+        Wire format (name or instance) every gossip segment crosses;
+        ``None`` = the lossless fp64 default.
     """
 
-    def __init__(self, network: NetworkModel, wait_time: float = 0.05):
+    def __init__(
+        self,
+        network: NetworkModel,
+        wait_time: float = 0.05,
+        wire: WireSpec = None,
+    ):
         if wait_time <= 0:
             raise ValueError(f"wait_time must be positive, got {wait_time}")
         self.network = network
         self.wait_time = wait_time
+        self.wire = get_wire_format(wire)
 
     def run(
         self,
@@ -192,7 +204,7 @@ class FaultTolerantRingSync:
         # The ring restarts once every survivor has a live upstream link.
         restart_time = max(repair_ready.values())
         survivor_vectors = [vectors[d] for d in survivors]
-        aggregated, stats = gossip_ring_exchange(survivor_vectors)
+        aggregated, stats = gossip_ring_exchange(survivor_vectors, wire=self.wire)
         gossip_time = self.network.ring_time_for(survivors, payload_nbytes)
         completion = restart_time + gossip_time
         if sim.now < completion:
@@ -206,4 +218,5 @@ class FaultTolerantRingSync:
             completion_time=completion,
             bytes_sent=stats.total_bytes + extra_bytes,
             bypasses=bypasses,
+            max_cast_error=stats.max_cast_error,
         )

@@ -1,0 +1,181 @@
+"""Wire formats: the cast-on-the-wire codec of every simulated transfer.
+
+The paper's testbed exchanges fp32 tensors between GPUs while our NumPy
+substrate computes in fp64.  Before this module existed the simulator
+*priced* transfers at 4 bytes/scalar but shipped lossless fp64 payloads —
+byte accounting and numerics described two different systems.  A
+:class:`WireFormat` closes that gap: it defines both what a payload
+*becomes* on the wire (``encode``/``decode``, applied at every simulated
+transfer boundary so a receiver only ever sees what survived the cast)
+and what that payload *costs* (``bytes_per_scalar``, the single source of
+truth for all byte pricing and segment granularity).
+
+Compressed collectives (DGC, QSGD-style quantisation — see PAPERS.md)
+treat wire precision as a first-class accuracy/communication trade-off;
+:func:`register_wire_format` is the hook for such future quantisers: any
+object implementing the :class:`WireFormat` interface can be registered
+and selected by name everywhere a dtype string is accepted.
+
+Contract
+--------
+* ``transmit(x)`` — what the receiver sees — is ``decode(encode(x))`` in
+  fp64.  For the lossless default (``fp64``) it is the *identity on the
+  same object* (zero-copy), so default trajectories are bitwise identical
+  to a simulator with no wire layer at all.
+* ``bytes_per_scalar`` prices every transfer: model wire size
+  (``SimulatedCluster.model_nbytes``), ring all-reduce byte accounting
+  (:class:`~repro.comm.allreduce.AllReduceStats`) and the network model's
+  segment granularity all derive from it — an fp64 wire prices
+  8 B/scalar everywhere, fp32 4 B, fp16 2 B.
+* ``cast_error(x)`` is the max-abs round-trip error, the per-round
+  quantisation-error telemetry recorded in ``RoundRecord.detail``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+
+class WireFormat:
+    """What a flat parameter payload becomes — and costs — on the wire.
+
+    Subclasses must set ``name``, ``bytes_per_scalar`` and ``lossless``,
+    and implement :meth:`encode` / :meth:`decode`.  ``transmit`` and
+    ``cast_error`` have generic implementations; lossy formats may
+    override ``transmit`` to fuse the round trip.
+    """
+
+    name: str = "abstract"
+    bytes_per_scalar: int = 8
+    lossless: bool = False
+
+    # ------------------------------------------------------------------ #
+    def encode(self, vec: np.ndarray) -> np.ndarray:
+        """The on-wire representation of ``vec``."""
+        raise NotImplementedError
+
+    def decode(self, payload: np.ndarray) -> np.ndarray:
+        """Reconstruct an fp64 vector from an on-wire payload."""
+        raise NotImplementedError
+
+    def transmit(self, vec: np.ndarray) -> np.ndarray:
+        """What the receiver sees: ``decode(encode(vec))`` in fp64."""
+        return self.decode(self.encode(vec))
+
+    def transmit_with_error(self, vec: np.ndarray) -> tuple:
+        """``(received, max_abs_error)`` of sending ``vec`` over this wire.
+
+        The single place the cast-error metric lives: every boundary
+        that records quantisation telemetry routes through it.  Lossless
+        wires skip the error pass entirely.
+        """
+        received = self.transmit(vec)
+        if self.lossless or np.asarray(vec).size == 0:
+            return received, 0.0
+        return received, float(np.max(np.abs(np.asarray(vec) - received)))
+
+    def cast_error(self, vec: np.ndarray) -> float:
+        """Max-abs round-trip error of sending ``vec`` over this wire."""
+        return self.transmit_with_error(vec)[1]
+
+    def nbytes(self, num_scalars: int) -> int:
+        """Wire size of ``num_scalars`` scalars (the paper's M for a model)."""
+        if num_scalars < 0:
+            raise ValueError(f"num_scalars must be non-negative, got {num_scalars}")
+        return int(num_scalars) * self.bytes_per_scalar
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.bytes_per_scalar} B/scalar)"
+
+
+class CastWireFormat(WireFormat):
+    """Cast to a (possibly narrower) IEEE float dtype on the wire.
+
+    ``fp64`` is a pure passthrough: ``encode``/``transmit`` return the
+    input object itself, so the lossless default adds no copies and no
+    numeric perturbation anywhere it is applied.
+    """
+
+    def __init__(self, name: str, dtype) -> None:
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError(f"wire dtype must be a float type, got {self.dtype}")
+        self.bytes_per_scalar = int(self.dtype.itemsize)
+        self.lossless = self.dtype == np.float64
+
+    def encode(self, vec: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vec)
+        if vec.dtype == self.dtype:
+            return vec
+        return vec.astype(self.dtype)
+
+    def decode(self, payload: np.ndarray) -> np.ndarray:
+        payload = np.asarray(payload)
+        if payload.dtype == np.float64:
+            return payload
+        return payload.astype(np.float64)
+
+    def transmit(self, vec: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vec)
+        if self.lossless and vec.dtype == np.float64:
+            return vec
+        return vec.astype(self.dtype).astype(np.float64)
+
+
+# ---------------------------------------------------------------------- #
+# Registry: the built-in cast formats plus the hook for future quantisers.
+# ---------------------------------------------------------------------- #
+
+WIRE_FP64 = CastWireFormat("fp64", np.float64)
+WIRE_FP32 = CastWireFormat("fp32", np.float32)
+WIRE_FP16 = CastWireFormat("fp16", np.float16)
+
+#: The default wire: lossless fp64 passthrough, priced honestly at
+#: 8 bytes/scalar.  Bitwise identical trajectories to a wire-less
+#: simulator by construction (identity transmit).
+DEFAULT_WIRE = WIRE_FP64
+
+_REGISTRY: Dict[str, WireFormat] = {
+    fmt.name: fmt for fmt in (WIRE_FP64, WIRE_FP32, WIRE_FP16)
+}
+
+WireSpec = Optional[Union[str, WireFormat]]
+
+
+def register_wire_format(fmt: WireFormat) -> WireFormat:
+    """Make a custom format (e.g. a quantiser) selectable by name."""
+    if not fmt.name or not isinstance(fmt.name, str):
+        raise ValueError("wire format needs a non-empty string name")
+    if fmt.bytes_per_scalar < 1:
+        raise ValueError(
+            f"bytes_per_scalar must be >= 1, got {fmt.bytes_per_scalar}"
+        )
+    _REGISTRY[fmt.name] = fmt
+    return fmt
+
+
+def get_wire_format(spec: WireSpec = None) -> WireFormat:
+    """Resolve a wire-format spec: name, ready instance, or ``None``.
+
+    ``None`` yields :data:`DEFAULT_WIRE` (fp64 passthrough).
+    """
+    if spec is None:
+        return DEFAULT_WIRE
+    if isinstance(spec, WireFormat):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown wire format {spec!r}; available: {available_wire_formats()}"
+        ) from None
+
+
+def available_wire_formats() -> list:
+    """Registered format names, built-ins first."""
+    builtins = ["fp64", "fp32", "fp16"]
+    extras = sorted(name for name in _REGISTRY if name not in builtins)
+    return builtins + extras

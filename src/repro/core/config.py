@@ -56,6 +56,14 @@ class HADFLParams:
         only wall-clock time.
     executor_workers:
         Worker count for a parallel ``executor`` override.
+    wire_dtype:
+        Wire-format override for the transfers this trainer performs
+        (initial dispatch, ring gossip segments, aggregate broadcast):
+        ``"fp64"``, ``"fp32"``, ``"fp16"`` or a registered quantiser
+        name.  ``None`` (default) uses the cluster's wire.  Unlike the
+        executor knob, a *lossy* wire deliberately changes the
+        trajectory — that is the accuracy/communication trade-off it
+        models.
     """
 
     tsync: int = 1
@@ -72,6 +80,7 @@ class HADFLParams:
     adapt_local_steps: bool = True
     executor: "str | None" = None
     executor_workers: "int | None" = None
+    wire_dtype: "str | None" = None
 
     def __post_init__(self):
         if self.tsync < 1:
@@ -109,3 +118,7 @@ class HADFLParams:
             raise ValueError(
                 f"executor_workers must be >= 1, got {self.executor_workers}"
             )
+        if self.wire_dtype is not None:
+            from repro.comm.wire import get_wire_format
+
+            get_wire_format(self.wire_dtype)  # raises on unknown names

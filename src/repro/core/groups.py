@@ -21,11 +21,13 @@ import numpy as np
 from repro.comm.gossip import gossip_ring_exchange
 from repro.comm.ring_repair import FaultTolerantRingSync
 from repro.comm.volume import CommVolumeAccountant
+from repro.comm.wire import get_wire_format
 from repro.core.config import HADFLParams
 from repro.core.coordinator import Coordinator
 from repro.metrics.records import RoundRecord, RunResult
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.engine import Simulator
+from repro.sim.network import align_network_granularity
 from repro.sim.trace import TraceRecorder
 
 
@@ -70,8 +72,23 @@ class GroupedHADFLTrainer:
             )
             for index in range(len(self.groups))
         ]
+        # Same wire-override semantics as HADFLTrainer: the cluster's
+        # wire unless the params name another; payload pricing and the
+        # time model's segment granularity follow the resolved wire.
+        if self.params.wire_dtype is None:
+            self.wire = cluster.wire
+        else:
+            self.wire = get_wire_format(self.params.wire_dtype)
+        self.model_nbytes = self.wire.nbytes(cluster.codec.num_scalars)
+        self.network = align_network_granularity(cluster.network, self.wire)
+        if self.wire is not cluster.wire:
+            payload = self.wire.transmit(np.asarray(cluster.initial_params))
+            for device in cluster.devices:
+                device.set_params(payload)
         self.sync = FaultTolerantRingSync(
-            cluster.network, wait_time=self.params.sync_wait_time
+            self.network,
+            wait_time=self.params.sync_wait_time,
+            wire=self.wire,
         )
         self.sim = Simulator()
         self.volume = CommVolumeAccountant()
@@ -118,6 +135,8 @@ class GroupedHADFLTrainer:
                 "inter_group_period": self.inter_group_period,
                 "tsync": self.params.tsync,
                 "num_selected": self.params.num_selected,
+                "model_nbytes": self.model_nbytes,
+                "wire_dtype": self.wire.name,
             },
         )
 
@@ -160,6 +179,7 @@ class GroupedHADFLTrainer:
         selected_all: List[int] = []
         bypasses = 0
         round_bytes = 0
+        wire_cast_error = 0.0
         completions = [t_start]
 
         for index, (group, coordinator) in enumerate(
@@ -189,12 +209,13 @@ class GroupedHADFLTrainer:
                 ring,
                 vectors,
                 lambda d, t: cluster.failures.is_alive(d, t),
-                cluster.model_nbytes,
+                self.model_nbytes,
                 trace=self.trace,
             )
             completions.append(sync_result.completion_time)
             bypasses += len(sync_result.bypasses)
             round_bytes += sync_result.bytes_sent
+            wire_cast_error = max(wire_cast_error, sync_result.max_cast_error)
 
             if sync_result.aggregated is not None:
                 self._group_params[index] = sync_result.aggregated
@@ -202,14 +223,15 @@ class GroupedHADFLTrainer:
                     cluster.device_by_id(device_id).set_params(
                         sync_result.aggregated
                     )
+                broadcast_payload = self.wire.transmit(sync_result.aggregated)
                 for device_id in available:
                     if device_id in selected:
                         continue
                     cluster.device_by_id(device_id).mix_params(
-                        sync_result.aggregated,
+                        broadcast_payload,
                         own_weight=self.params.unselected_mix_weight,
                     )
-                    round_bytes += cluster.model_nbytes
+                    round_bytes += self.model_nbytes
 
             coordinator.record_versions(
                 {d: cluster.device_by_id(d).version for d in available}
@@ -220,19 +242,22 @@ class GroupedHADFLTrainer:
 
         # Inter-group synchronisation at the coarser period (Fig. 2b).
         if (round_index + 1) % self.inter_group_period == 0 and len(self.groups) > 1:
-            merged, stats = gossip_ring_exchange(self._group_params)
-            inter_time = cluster.network.gossip_ring_time(
-                cluster.model_nbytes, len(self.groups)
+            merged, stats = gossip_ring_exchange(self._group_params, wire=self.wire)
+            inter_time = self.network.gossip_ring_time(
+                self.model_nbytes, len(self.groups)
             )
             self.sim.advance_to(self.sim.now + inter_time)
             round_bytes += stats.total_bytes
+            wire_cast_error = max(wire_cast_error, stats.max_cast_error)
             self.volume.record(self.sim.now, stats.total_bytes, "inter_group_sync")
+            merged_payload = self.wire.transmit(merged)
             for index, group in enumerate(self.groups):
                 self._group_params[index] = np.array(merged, copy=True)
                 for device_id in group:
                     if cluster.failures.is_alive(device_id, self.sim.now):
                         cluster.device_by_id(device_id).mix_params(
-                            merged, own_weight=self.params.unselected_mix_weight
+                            merged_payload,
+                            own_weight=self.params.unselected_mix_weight,
                         )
 
         record = RoundRecord(
@@ -244,6 +269,10 @@ class GroupedHADFLTrainer:
             versions={d.device_id: d.version for d in cluster.devices},
             comm_bytes=round_bytes,
             bypasses=bypasses,
+            detail={
+                "wire_dtype": self.wire.name,
+                "wire_cast_error": wire_cast_error,
+            },
         )
         if round_index % max(1, eval_every) == 0:
             loss, acc = cluster.evaluate_params(self.global_params)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.comm.ring_repair import FaultTolerantRingSync
 from repro.comm.volume import CommVolumeAccountant
+from repro.comm.wire import get_wire_format
 from repro.core.config import HADFLParams
 from repro.core.coordinator import Coordinator
 from repro.core.selection import SelectionPolicy
@@ -34,6 +35,7 @@ from repro.metrics.records import RoundRecord, RunResult
 from repro.parallel.tasks import LocalTrainTask
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.engine import Simulator
+from repro.sim.network import align_network_granularity
 from repro.sim.executor import make_executor
 from repro.sim.trace import TraceRecorder
 
@@ -70,8 +72,20 @@ class HADFLTrainer:
             selection=selection,
             seed=seed,
         )
+        # Wire format of every transfer this trainer performs: the
+        # cluster's unless the params override it.  Pricing follows the
+        # payloads — model bytes are re-derived, and the time model's
+        # segment granularity is re-aligned, under an override.
+        if self.params.wire_dtype is None:
+            self.wire = cluster.wire
+        else:
+            self.wire = get_wire_format(self.params.wire_dtype)
+        self.model_nbytes = self.wire.nbytes(cluster.codec.num_scalars)
+        self.network = align_network_granularity(cluster.network, self.wire)
         self.sync = FaultTolerantRingSync(
-            cluster.network, wait_time=self.params.sync_wait_time
+            self.network,
+            wait_time=self.params.sync_wait_time,
+            wire=self.wire,
         )
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.volume = CommVolumeAccountant()
@@ -151,18 +165,26 @@ class HADFLTrainer:
                 "selection": params.selection,
                 "warmup_epochs": params.warmup_epochs,
                 "power_ratio": [s.power for s in cluster.specs],
-                "model_nbytes": cluster.model_nbytes,
+                "model_nbytes": self.model_nbytes,
+                "wire_dtype": self.wire.name,
             },
         )
 
         # Initial model dispatch (step 2): coordinator → K devices, priced
-        # as sequential full-model sends.
-        dispatch = cluster.network.sequential_sends_time(
-            cluster.model_nbytes, len(cluster.devices)
+        # as sequential full-model sends.  The cluster already delivered
+        # the cast initial model under its own wire; re-send only when
+        # this trainer's wire differs, so devices start from what *this*
+        # wire lets through.
+        if self.wire is not cluster.wire:
+            payload = self.wire.transmit(np.asarray(cluster.initial_params))
+            for device in cluster.devices:
+                device.set_params(payload)
+        dispatch = self.network.sequential_sends_time(
+            self.model_nbytes, len(cluster.devices)
         )
         self.volume.record(
             self.sim.now,
-            cluster.model_nbytes * len(cluster.devices),
+            self.model_nbytes * len(cluster.devices),
             "initial_dispatch",
         )
         self.sim.advance_to(self.sim.now + dispatch)
@@ -278,12 +300,13 @@ class HADFLTrainer:
             ring_order,
             vectors,
             lambda d, t: cluster.failures.is_alive(d, t),
-            cluster.model_nbytes,
+            self.model_nbytes,
             trace=self.trace,
         )
         self.volume.record(
             self.sim.now, sync_result.bytes_sent, "partial_sync"
         )
+        wire_cast_error = sync_result.max_cast_error
 
         if sync_result.aggregated is not None:
             self._global_params = sync_result.aggregated
@@ -291,21 +314,28 @@ class HADFLTrainer:
                 cluster.device_by_id(device_id).set_params(sync_result.aggregated)
             # Non-blocking broadcast to unselected devices (they integrate
             # the aggregate with local parameters; the round's critical
-            # path is not extended).
+            # path is not extended).  The aggregate crosses the wire once
+            # per receiver; the cast payload is computed once.
             broadcaster = (
                 sync_result.survivors[0] if sync_result.survivors else None
             )
             unselected = [d for d in available if d not in selected]
+            broadcast_payload = None
             for receiver in unselected:
                 if not cluster.failures.is_alive(receiver, self.sim.now):
                     continue
+                if broadcast_payload is None:
+                    broadcast_payload, err = self.wire.transmit_with_error(
+                        sync_result.aggregated
+                    )
+                    wire_cast_error = max(wire_cast_error, err)
                 cluster.device_by_id(receiver).mix_params(
-                    sync_result.aggregated,
+                    broadcast_payload,
                     own_weight=params.unselected_mix_weight,
                 )
                 self.volume.record(
                     self.sim.now,
-                    cluster.model_nbytes,
+                    self.model_nbytes,
                     "broadcast",
                     src=broadcaster,
                     dst=receiver,
@@ -337,6 +367,13 @@ class HADFLTrainer:
             # away from the accountant.
             comm_bytes=self.volume.total_bytes - bytes_before,
             bypasses=len(sync_result.bypasses),
+            # Quantisation telemetry: the largest absolute error any
+            # payload suffered crossing the wire this round (0.0 on the
+            # lossless default).
+            detail={
+                "wire_dtype": self.wire.name,
+                "wire_cast_error": wire_cast_error,
+            },
         )
         if round_index % max(1, eval_every) == 0:
             loss, acc = cluster.evaluate_params(self._global_params)

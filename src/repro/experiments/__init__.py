@@ -18,6 +18,11 @@ from repro.experiments.runner import (
     run_scheme,
 )
 from repro.experiments.table1 import Table1Cell, format_table1, run_table1
+from repro.experiments.wire_sweep import (
+    WireSweepCell,
+    format_wire_sweep,
+    run_wire_sweep,
+)
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.worstcase import WorstCaseReport, run_worstcase
 from repro.experiments.ablations import (
@@ -40,6 +45,9 @@ __all__ = [
     "Table1Cell",
     "run_table1",
     "format_table1",
+    "WireSweepCell",
+    "run_wire_sweep",
+    "format_wire_sweep",
     "run_fig3",
     "format_fig3",
     "run_worstcase",

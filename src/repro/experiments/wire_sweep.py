@@ -1,0 +1,87 @@
+"""Wire-format sweep: accuracy vs communication volume across wire dtypes.
+
+The wire format is a first-class accuracy/communication trade-off (DGC,
+QSGD-style quantisation — see PAPERS.md): a narrower wire halves or
+quarters every transferred byte while injecting cast error into every
+sync.  This experiment runs the same fixed-seed configuration once per
+wire format and tabulates what the trade bought: total simulated bytes,
+virtual time, final/best accuracy, and the worst per-round cast error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import run_scheme
+from repro.metrics.records import RunResult
+
+
+@dataclass(frozen=True)
+class WireSweepCell:
+    """One (wire dtype, scheme) measurement of the sweep."""
+
+    wire_dtype: str
+    scheme: str
+    rounds: int
+    total_comm_bytes: int
+    total_time: float
+    best_accuracy: float
+    final_accuracy: float
+    max_cast_error: float
+    """Largest per-round wire cast error over the run (0.0 lossless)."""
+
+
+def _max_cast_error(result: RunResult) -> float:
+    return max(
+        (float(r.detail.get("wire_cast_error", 0.0)) for r in result.rounds),
+        default=0.0,
+    )
+
+
+def run_wire_sweep(
+    config: ExperimentConfig,
+    wire_dtypes: Sequence[str] = ("fp64", "fp32"),
+    scheme: str = "hadfl",
+) -> List[WireSweepCell]:
+    """Run ``scheme`` once per wire format on otherwise identical clusters.
+
+    Every run shares the same seed, shards and initial model — only the
+    wire differs, so byte totals and accuracies are directly comparable.
+    """
+    if not wire_dtypes:
+        raise ValueError("need at least one wire dtype")
+    cells = []
+    for wire_dtype in wire_dtypes:
+        result = run_scheme(scheme, config.with_overrides(wire_dtype=wire_dtype))
+        cells.append(
+            WireSweepCell(
+                wire_dtype=wire_dtype,
+                scheme=scheme,
+                rounds=len(result.rounds),
+                total_comm_bytes=result.total_comm_bytes,
+                total_time=result.total_time,
+                best_accuracy=result.best_accuracy(),
+                final_accuracy=result.final_accuracy(),
+                max_cast_error=_max_cast_error(result),
+            )
+        )
+    return cells
+
+
+def format_wire_sweep(cells: Sequence[WireSweepCell]) -> str:
+    """ASCII table of the accuracy-vs-comm-volume trade."""
+    header = (
+        f"{'wire':<6} {'scheme':<22} {'rounds':>6} {'comm bytes':>14} "
+        f"{'virt time':>10} {'best acc':>9} {'final acc':>10} {'max cast err':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell.wire_dtype:<6} {cell.scheme:<22} {cell.rounds:>6} "
+            f"{cell.total_comm_bytes:>14,} {cell.total_time:>10.2f} "
+            f"{cell.best_accuracy:>9.4f} {cell.final_accuracy:>10.4f} "
+            f"{cell.max_cast_error:>13.3e}"
+        )
+    return "\n".join(lines)

@@ -75,6 +75,7 @@ def load_result(path: PathLike) -> RunResult:
                 versions={int(k): v for k, v in row.get("versions", {}).items()},
                 comm_bytes=row.get("comm_bytes", 0),
                 bypasses=row.get("bypasses", 0),
+                detail=dict(row.get("detail", {})),
             )
         )
     return result

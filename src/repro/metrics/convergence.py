@@ -43,7 +43,9 @@ def time_to_max_accuracy(result: RunResult) -> tuple:
     return float(best), float(times[first])
 
 
-def speedup(baseline: RunResult, improved: RunResult, target: float = None) -> float:
+def speedup(
+    baseline: RunResult, improved: RunResult, target: Optional[float] = None
+) -> float:
     """How much faster ``improved`` reaches the comparison accuracy.
 
     With an explicit ``target`` both runs are measured against it;

@@ -91,10 +91,12 @@ def series_from_results(
             )
         elif y_axis == "test_loss":
             y = result.test_losses()
+            # Align on rounds that recorded a *loss* — the loss and
+            # accuracy series may cover different rounds.
             x = (
-                result.epochs(evaluated_only=True)
+                result.epochs(evaluated_only=True, filter_attr="test_loss")
                 if x_axis == "epoch"
-                else result.times(evaluated_only=True)
+                else result.times(evaluated_only=True, filter_attr="test_loss")
             )
         elif y_axis == "train_loss":
             y = result.train_losses()

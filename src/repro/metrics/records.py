@@ -42,26 +42,39 @@ class RunResult:
     # ------------------------------------------------------------------ #
     # Series accessors
     # ------------------------------------------------------------------ #
-    def _series(self, attr: str, evaluated_only: bool = False) -> np.ndarray:
+    def _series(self, attr: str, filter_attr: Optional[str] = None) -> np.ndarray:
+        """Values of ``attr``, keeping only rounds where ``filter_attr``
+        was recorded.  Each optional metric filters by *its own*
+        attribute: a round that recorded only a test loss still appears
+        in the loss series, and a round with accuracy but no loss never
+        injects a NaN into it."""
         rows = self.rounds
-        if evaluated_only:
-            rows = [r for r in rows if r.test_accuracy is not None]
+        if filter_attr is not None:
+            rows = [r for r in rows if getattr(r, filter_attr) is not None]
         return np.array([getattr(r, attr) for r in rows], dtype=float)
 
-    def times(self, evaluated_only: bool = False) -> np.ndarray:
-        return self._series("sim_time", evaluated_only)
+    def times(
+        self, evaluated_only: bool = False, filter_attr: str = "test_accuracy"
+    ) -> np.ndarray:
+        """Round-end times; ``evaluated_only`` keeps rounds where
+        ``filter_attr`` was recorded, aligning with that metric's series."""
+        return self._series("sim_time", filter_attr if evaluated_only else None)
 
-    def epochs(self, evaluated_only: bool = False) -> np.ndarray:
-        return self._series("global_epoch", evaluated_only)
+    def epochs(
+        self, evaluated_only: bool = False, filter_attr: str = "test_accuracy"
+    ) -> np.ndarray:
+        return self._series(
+            "global_epoch", filter_attr if evaluated_only else None
+        )
 
     def train_losses(self) -> np.ndarray:
         return self._series("train_loss")
 
     def test_accuracies(self) -> np.ndarray:
-        return self._series("test_accuracy", evaluated_only=True)
+        return self._series("test_accuracy", filter_attr="test_accuracy")
 
     def test_losses(self) -> np.ndarray:
-        return self._series("test_loss", evaluated_only=True)
+        return self._series("test_loss", filter_attr="test_loss")
 
     # ------------------------------------------------------------------ #
     # Aggregates
@@ -121,6 +134,7 @@ class RunResult:
                     "versions": {str(k): int(v) for k, v in r.versions.items()},
                     "comm_bytes": r.comm_bytes,
                     "bypasses": r.bypasses,
+                    "detail": dict(r.detail),
                 }
                 for r in self.rounds
             ],

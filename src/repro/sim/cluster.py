@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.autograd import Tensor, no_grad
 from repro.comm.params import FlatParamCodec, ParamArena
+from repro.comm.wire import WireFormat, WireSpec, get_wire_format
 from repro.data.dataset import Dataset, Subset
 from repro.data.loader import BatchCycler
 from repro.data.partition import partition_dirichlet, partition_iid
@@ -26,7 +27,7 @@ from repro.parallel.tasks import LocalTrainTask
 from repro.sim.device import Device, DeviceSpec, LocalTrainResult
 from repro.sim.executor import LocalExecutor, make_executor
 from repro.sim.failures import FailureInjector
-from repro.sim.network import NetworkModel
+from repro.sim.network import NetworkModel, align_network_granularity
 
 
 class SimulatedCluster:
@@ -64,6 +65,16 @@ class SimulatedCluster:
     executor_workers:
         Worker count for the parallel backends (``None``: one per device,
         capped at the CPU count).
+    wire:
+        Wire format every simulated transfer crosses — a name
+        (``"fp64"``/``"fp32"``/``"fp16"`` or a registered quantiser) or a
+        :class:`~repro.comm.wire.WireFormat` instance.  Governs both the
+        payload cast (devices only ever receive ``wire.transmit(...)`` of
+        what was sent, starting with the initial model dispatch) and all
+        byte pricing (``model_nbytes``, segment granularity of the
+        network model, which is aligned automatically).  The default
+        lossless fp64 wire leaves trajectories bitwise identical to a
+        simulator with no wire layer.
     """
 
     def __init__(
@@ -82,6 +93,7 @@ class SimulatedCluster:
         seed: int = 0,
         executor="serial",
         executor_workers: Optional[int] = None,
+        wire: WireSpec = None,
     ):
         if not specs:
             raise ValueError("need at least one device spec")
@@ -91,7 +103,11 @@ class SimulatedCluster:
         self.specs = list(specs)
         self.train_set = train_set
         self.test_set = test_set
-        self.network = network or NetworkModel()
+        self.wire: WireFormat = get_wire_format(wire)
+        network = network or NetworkModel(
+            bytes_per_scalar=self.wire.bytes_per_scalar
+        )
+        self.network = align_network_granularity(network, self.wire)
         self.failures = failure_injector or FailureInjector()
         self.lr_schedule = lr_schedule
         self.seed = seed
@@ -107,7 +123,7 @@ class SimulatedCluster:
         self._eval_arena = ParamArena(self._eval_model)
         self.codec = FlatParamCodec(self._eval_model)
         self.initial_params = self.codec.flatten(self._eval_model)
-        self.model_nbytes = self.codec.nbytes
+        self.model_nbytes = self.wire.nbytes(self.codec.num_scalars)
         self._loss_fn = CrossEntropyLoss()
 
         shards = self._make_shards(partition, dirichlet_alpha)
@@ -127,7 +143,9 @@ class SimulatedCluster:
                 lr_schedule=lr_schedule,
                 seed=int(device_rng.integers(0, 2**31 - 1)),
             )
-            device.set_params(self.initial_params)
+            # The initial model dispatch crosses the wire too: a device
+            # starts from what survived the cast (identity on fp64).
+            device.set_params(self.wire.transmit(self.initial_params))
             self.devices.append(device)
 
     # ------------------------------------------------------------------ #
@@ -229,7 +247,7 @@ class SimulatedCluster:
     def reset(self) -> None:
         """Restore every device to the initial model and zero the clocks."""
         for device in self.devices:
-            device.set_params(self.initial_params)
+            device.set_params(self.wire.transmit(self.initial_params))
             device.version = 0
             device.busy_until = 0.0
             if hasattr(device.optimizer, "reset_state"):

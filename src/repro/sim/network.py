@@ -18,30 +18,55 @@ from __future__ import annotations
 
 import math
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence
 
-# Wire granularity of ring segments: payloads split on scalar boundaries
-# (4 bytes on the wire, see repro.comm.params.WIRE_BYTES_PER_SCALAR), so
-# the largest segment of an uneven split carries ceil(n/K) scalars.
-_SEGMENT_GRANULARITY_BYTES = 4
+
+def _default_bytes_per_scalar() -> int:
+    """Scalar wire width of the default wire format (fp64 → 8 B).
+
+    Imported lazily: ``repro.comm`` imports this module (via
+    ``ring_repair``), so a top-level import would be circular.
+    """
+    from repro.comm.wire import DEFAULT_WIRE
+
+    return DEFAULT_WIRE.bytes_per_scalar
 
 
-def ring_step_segment_bytes(nbytes: float, num_nodes: int) -> float:
+def align_network_granularity(network: "NetworkModel", wire) -> "NetworkModel":
+    """``network`` with its segment granularity matched to ``wire``.
+
+    Granularity is not an independent knob — it IS the wire's scalar
+    width, so the time model always prices the same payloads the byte
+    accounting counts.  Returns the input unchanged when already
+    aligned; otherwise a field-preserving copy (works for subclasses).
+    """
+    if network.bytes_per_scalar == wire.bytes_per_scalar:
+        return network
+    return replace(network, bytes_per_scalar=wire.bytes_per_scalar)
+
+
+def ring_step_segment_bytes(
+    nbytes: float, num_nodes: int, bytes_per_scalar: Optional[int] = None
+) -> float:
     """Bytes of the *largest* segment in one ring step.
 
     The two-phase ring schedule (see ``repro.comm.allreduce``) splits the
-    vector into ``num_nodes`` contiguous segments on scalar boundaries;
-    when the split is uneven the first ``n % K`` segments are one scalar
-    longer.  All ``num_nodes`` transfers of a step run concurrently, so
-    the step completes when the largest segment lands — which is what a
-    time model must price.  Matches the byte accounting of
+    vector into ``num_nodes`` contiguous segments on scalar boundaries —
+    ``bytes_per_scalar`` wide, the width of the selected
+    :class:`~repro.comm.wire.WireFormat` (default: the fp64 wire's 8 B) —
+    so the largest segment of an uneven split carries ceil(n/K) scalars.
+    All ``num_nodes`` transfers of a step run concurrently, so the step
+    completes when the largest segment lands — which is what a time model
+    must price.  Matches the byte accounting of
     :func:`repro.comm.allreduce.ring_allreduce_detailed` exactly.
     """
     if num_nodes < 1:
         raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
-    scalars = nbytes / _SEGMENT_GRANULARITY_BYTES
-    return math.ceil(scalars / num_nodes) * _SEGMENT_GRANULARITY_BYTES
+    if bytes_per_scalar is None:
+        bytes_per_scalar = _default_bytes_per_scalar()
+    scalars = nbytes / bytes_per_scalar
+    return math.ceil(scalars / num_nodes) * bytes_per_scalar
 
 
 @dataclass(frozen=True)
@@ -53,17 +78,32 @@ class NetworkModel:
     latency:
         Per-message fixed cost in seconds (alpha).
     bandwidth:
-        Link bandwidth in bytes/second (beta).
+        Link bandwidth in bytes/second (beta).  The default is calibrated
+        so one *scalar* costs the same seconds it did when transfers were
+        priced at 4 B/scalar (the legacy fp32 pricing): honest fp64
+        payloads are twice the bytes over twice the bandwidth — an exact
+        power-of-two rescale, so default-network timings (and therefore
+        fixed-seed trajectories) are bitwise unchanged.
+    bytes_per_scalar:
+        Scalar width on the wire — the segment granularity of ring
+        collectives.  Comes from the wire format
+        (:class:`~repro.comm.wire.WireFormat`); ``SimulatedCluster``
+        aligns it with its wire automatically.
     """
 
     latency: float = 1e-3
-    bandwidth: float = 1e9
+    bandwidth: float = 2e9
+    bytes_per_scalar: int = field(default_factory=_default_bytes_per_scalar)
 
     def __post_init__(self):
         if self.latency < 0:
             raise ValueError(f"latency must be non-negative, got {self.latency}")
         if self.bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.bytes_per_scalar < 1:
+            raise ValueError(
+                f"bytes_per_scalar must be >= 1, got {self.bytes_per_scalar}"
+            )
 
     # ------------------------------------------------------------------ #
     # Primitive transfers
@@ -99,7 +139,7 @@ class NetworkModel:
         if num_nodes == 1:
             return 0.0
         steps = 2 * (num_nodes - 1)
-        seg_bytes = ring_step_segment_bytes(nbytes, num_nodes)
+        seg_bytes = ring_step_segment_bytes(nbytes, num_nodes, self.bytes_per_scalar)
         return steps * (self.latency + seg_bytes / self.bandwidth)
 
     def gossip_ring_time(self, nbytes: float, num_selected: int) -> float:
@@ -206,5 +246,5 @@ class HeterogeneousNetworkModel(NetworkModel):
         worst_bandwidth = min(self.effective_bandwidth(d) for d in ids)
         worst_latency = max(self.effective_latency(d) for d in ids)
         steps = 2 * (len(ids) - 1)
-        seg_bytes = ring_step_segment_bytes(nbytes, len(ids))
+        seg_bytes = ring_step_segment_bytes(nbytes, len(ids), self.bytes_per_scalar)
         return steps * (worst_latency + seg_bytes / worst_bandwidth)

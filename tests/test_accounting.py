@@ -79,6 +79,13 @@ class TestRoundRecordInvariant:
         assert len(result.rounds) >= 2
         _assert_record_accountant_agree(result, trainer)
 
+    @pytest.mark.parametrize("wire_dtype", ["fp32", "fp16"])
+    def test_lossy_wire_record_matches_accountant(self, wire_dtype):
+        """The PR-2 invariant holds for every wire dtype."""
+        result, trainer = _run(_config(wire_dtype=wire_dtype))
+        assert len(result.rounds) >= 2
+        _assert_record_accountant_agree(result, trainer)
+
     def test_jittered_run_record_matches_accountant(self):
         result, trainer = _run(_config(jitter=0.15, seed=9, target_epochs=5.0))
         _assert_record_accountant_agree(result, trainer)
@@ -134,34 +141,51 @@ class TestRingAllReduceBytes:
         result, stats = ring_allreduce_detailed(vectors)
         np.testing.assert_allclose(result, np.mean(vectors, axis=0), atol=1e-12)
         # Each of the 2(k-1) steps moves the whole vector exactly once
-        # across the ring: no ceil inflation.
-        assert stats.total_bytes == 2 * (k - 1) * n * 4
-        assert stats.bytes_sent_by_node == (60, 64, 60, 56)
+        # across the ring: no ceil inflation.  The default fp64 wire
+        # prices 8 B/scalar.
+        assert stats.total_bytes == 2 * (k - 1) * n * 8
+        assert stats.bytes_sent_by_node == (120, 128, 120, 112)
         assert sum(stats.bytes_sent_by_node) == stats.total_bytes
         assert stats.bytes_sent_per_node == max(stats.bytes_sent_by_node)
         # The old per-segment ceil pricing overcounted this case.
-        old_total = 2 * (k - 1) * int(np.ceil(n / k)) * 4 * k
+        old_total = 2 * (k - 1) * int(np.ceil(n / k)) * 8 * k
         assert stats.total_bytes < old_total
 
     @pytest.mark.parametrize("k,n", [(3, 7), (4, 10), (5, 2), (6, 33), (7, 100)])
     def test_total_is_exactly_two_vector_sweeps(self, k, n):
         vectors = [RNG.normal(size=n) for _ in range(k)]
         _, stats = ring_allreduce_detailed(vectors)
-        assert stats.total_bytes == 2 * (k - 1) * n * 4
+        assert stats.total_bytes == 2 * (k - 1) * n * 8
         assert sum(stats.bytes_sent_by_node) == stats.total_bytes
+
+    @pytest.mark.parametrize(
+        "wire,width", [("fp64", 8), ("fp32", 4), ("fp16", 2)]
+    )
+    def test_byte_width_follows_wire_format(self, wire, width):
+        """The wire format is the single source of scalar width."""
+        k, n = 4, 10
+        vectors = [RNG.normal(size=n) for _ in range(k)]
+        _, stats = ring_allreduce_detailed(vectors, wire=wire)
+        assert stats.total_bytes == 2 * (k - 1) * n * width
 
     def test_divisible_split_matches_uniform_formula(self):
         k, n = 4, 100
         vectors = [RNG.normal(size=n) for _ in range(k)]
         _, stats = ring_allreduce_detailed(vectors)
-        per_node = 2 * (k - 1) * (n // k) * 4
+        per_node = 2 * (k - 1) * (n // k) * 8
         assert stats.bytes_sent_by_node == (per_node,) * k
         assert stats.bytes_sent_per_node == per_node
 
     def test_time_model_prices_largest_segment(self):
         net = NetworkModel(latency=0.0, bandwidth=1.0)
-        # 10 scalars (40 B) over 4 nodes: the largest segment holds
-        # ceil(10/4) = 3 scalars = 12 B and gates each of the 6 steps.
-        assert net.ring_allreduce_time(40, 4) == pytest.approx(2 * 3 * 12)
+        assert net.bytes_per_scalar == 8  # fp64 wire granularity
+        # 10 scalars (80 B) over 4 nodes: the largest segment holds
+        # ceil(10/4) = 3 scalars = 24 B and gates each of the 6 steps.
+        assert net.ring_allreduce_time(80, 4) == pytest.approx(2 * 3 * 24)
         # Evenly divisible payloads keep the classic n/K pricing.
-        assert net.ring_allreduce_time(400, 4) == pytest.approx(2 * 3 * 100)
+        assert net.ring_allreduce_time(800, 4) == pytest.approx(2 * 3 * 200)
+
+    def test_time_model_granularity_follows_wire(self):
+        # An fp32-wire network splits the same 10 scalars at 4 B each.
+        net = NetworkModel(latency=0.0, bandwidth=1.0, bytes_per_scalar=4)
+        assert net.ring_allreduce_time(40, 4) == pytest.approx(2 * 3 * 12)

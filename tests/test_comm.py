@@ -64,8 +64,13 @@ class TestParamCodec:
     def test_nbytes_wire_width(self):
         model = self._model()
         codec = FlatParamCodec(model)
-        assert codec.nbytes == codec.num_scalars * 4
+        # Default wire: lossless fp64 at 8 B/scalar.
+        assert codec.nbytes == codec.num_scalars * 8
         assert model_nbytes(model) == codec.nbytes
+        # Narrow wires shrink the same state proportionally.
+        assert codec.nbytes_for("fp32") == codec.num_scalars * 4
+        assert codec.nbytes_for("fp16") == codec.num_scalars * 2
+        assert model_nbytes(model, wire="fp32") == codec.nbytes_for("fp32")
 
     def test_one_shot_helpers(self):
         model = self._model()
@@ -104,7 +109,8 @@ class TestRingAllreduce:
         _, stats = ring_allreduce_detailed(vectors)
         assert stats.steps == 2 * 3
         assert stats.num_nodes == 4
-        assert stats.bytes_sent_per_node == stats.steps * 25 * 4
+        # 25 scalars per segment at the fp64 wire's 8 B/scalar.
+        assert stats.bytes_sent_per_node == stats.steps * 25 * 8
 
     def test_vector_shorter_than_ring(self):
         vectors = [RNG.normal(size=2) for _ in range(5)]

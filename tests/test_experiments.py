@@ -8,7 +8,9 @@ from repro.experiments import (
     HETEROGENEITY_3311,
     HETEROGENEITY_4221,
     average_results,
+    format_wire_sweep,
     run_scheme,
+    run_wire_sweep,
     specs_from_power_ratio,
 )
 from repro.experiments.runner import repeat_scheme
@@ -121,6 +123,29 @@ class TestRunner:
     def test_repeat_requires_positive(self):
         with pytest.raises(ValueError):
             repeat_scheme("hadfl", ExperimentConfig(), repeats=0)
+
+
+class TestWireSweep:
+    def test_sweep_trades_bytes_for_cast_error(self):
+        config = ExperimentConfig(num_train=160, num_test=80, target_epochs=2)
+        cells = run_wire_sweep(config, wire_dtypes=("fp64", "fp32"))
+        assert [c.wire_dtype for c in cells] == ["fp64", "fp32"]
+        fp64, fp32 = cells
+        assert fp64.total_comm_bytes == 2 * fp32.total_comm_bytes
+        assert fp64.max_cast_error == 0.0
+        assert fp32.max_cast_error > 0.0
+        assert fp32.best_accuracy > 0.0
+
+    def test_format_contains_every_dtype(self):
+        config = ExperimentConfig(num_train=160, num_test=80, target_epochs=2)
+        cells = run_wire_sweep(config, wire_dtypes=("fp64", "fp32"))
+        table = format_wire_sweep(cells)
+        assert "fp64" in table and "fp32" in table
+        assert "max cast err" in table
+
+    def test_empty_dtypes_raises(self):
+        with pytest.raises(ValueError):
+            run_wire_sweep(ExperimentConfig(), wire_dtypes=())
 
 
 class TestAverageResults:

@@ -1,0 +1,101 @@
+"""FailureInjector semantics, including window-boundary cases.
+
+The windows are closed-open intervals ``[down_at, up_at)``; trainers rely
+on :meth:`FailureInjector.next_down_time` to stop a device's compute at
+the exact moment it disconnects, so the boundary behaviour is pinned
+here: a query exactly at ``down_at`` is already dead, a query exactly at
+``up_at`` has recovered, and queries between windows see the next one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.failures import FailureInjector, FailureWindow
+
+
+class TestFailureWindow:
+    def test_rejects_negative_down_at(self):
+        with pytest.raises(ValueError):
+            FailureWindow(0, down_at=-1.0, up_at=2.0)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            FailureWindow(0, down_at=2.0, up_at=2.0)
+
+    def test_covers_is_closed_open(self):
+        window = FailureWindow(0, down_at=1.0, up_at=2.0)
+        assert not window.covers(0.999)
+        assert window.covers(1.0)  # closed at down_at
+        assert window.covers(1.5)
+        assert not window.covers(2.0)  # open at up_at
+
+
+class TestNextDownTime:
+    def _injector(self):
+        injector = FailureInjector()
+        injector.fail(7, down_at=2.0, up_at=3.0)
+        injector.fail(7, down_at=5.0, up_at=6.0)
+        return injector
+
+    def test_query_exactly_at_down_at(self):
+        """At the instant the window opens the device is already dead:
+        next_down_time is the query time itself."""
+        injector = self._injector()
+        assert injector.next_down_time(7, 2.0) == 2.0
+        assert not injector.is_alive(7, 2.0)
+
+    def test_query_exactly_at_up_at(self):
+        """At up_at the device is back (closed-open window): the answer
+        is the next window's down_at, not the elapsed one."""
+        injector = self._injector()
+        assert injector.next_down_time(7, 3.0) == 5.0
+        assert injector.is_alive(7, 3.0)
+
+    def test_query_between_windows(self):
+        injector = self._injector()
+        assert injector.next_down_time(7, 4.0) == 5.0
+        assert injector.is_alive(7, 4.0)
+
+    def test_query_inside_window_returns_query_time(self):
+        injector = self._injector()
+        assert injector.next_down_time(7, 2.5) == 2.5
+        assert injector.next_down_time(7, 5.999) == 5.999
+
+    def test_query_before_first_window(self):
+        injector = self._injector()
+        assert injector.next_down_time(7, 0.0) == 2.0
+
+    def test_query_after_last_window(self):
+        injector = self._injector()
+        assert injector.next_down_time(7, 6.0) == float("inf")
+        assert injector.next_down_time(7, 100.0) == float("inf")
+
+    def test_unknown_device_never_fails(self):
+        injector = self._injector()
+        assert injector.next_down_time(99, 0.0) == float("inf")
+        assert injector.is_alive(99, 1e9)
+
+    def test_permanent_failure(self):
+        injector = FailureInjector()
+        injector.fail(1, down_at=4.0)  # up_at defaults to inf
+        assert injector.next_down_time(1, 0.0) == 4.0
+        assert injector.next_down_time(1, 4.0) == 4.0
+        assert injector.next_down_time(1, 1e12) == 1e12  # still inside
+
+    def test_overlapping_windows_earliest_wins(self):
+        injector = FailureInjector()
+        injector.fail(2, down_at=3.0, up_at=8.0)
+        injector.fail(2, down_at=5.0, up_at=6.0)
+        assert injector.next_down_time(2, 0.0) == 3.0
+        # Inside either window the device is down right now.
+        assert injector.next_down_time(2, 5.5) == 5.5
+
+    def test_random_injector_respects_horizon(self):
+        rng = np.random.default_rng(11)
+        injector = FailureInjector.random(
+            [0, 1, 2], horizon=50.0, failure_rate=0.1,
+            mean_downtime=2.0, rng=rng,
+        )
+        for device in (0, 1, 2):
+            for window in injector.windows_for(device):
+                assert window.down_at < 50.0

@@ -57,6 +57,7 @@ class TestResultPersistence:
                 round_index=0, sim_time=1.5, global_epoch=1.0, train_loss=0.9,
                 test_loss=0.8, test_accuracy=0.5, selected=[0, 2],
                 versions={0: 10, 2: 4}, comm_bytes=128, bypasses=1,
+                detail={"wire_dtype": "fp32", "wire_cast_error": 2.5e-8},
             )
         )
         result.append(
@@ -74,7 +75,13 @@ class TestResultPersistence:
         assert len(loaded.rounds) == 2
         assert loaded.rounds[0].versions == {0: 10, 2: 4}
         assert loaded.rounds[0].selected == [0, 2]
+        # detail (quantisation telemetry) survives the roundtrip.
+        assert loaded.rounds[0].detail == {
+            "wire_dtype": "fp32",
+            "wire_cast_error": 2.5e-8,
+        }
         assert loaded.rounds[1].test_accuracy is None
+        assert loaded.rounds[1].detail == {}
         np.testing.assert_allclose(loaded.times(), original.times())
 
     def test_directory_roundtrip(self, tmp_path):
@@ -200,6 +207,27 @@ class TestCLI:
         assert (tmp_path / "hadfl.json").exists()
         loaded = io.load_result(tmp_path / "hadfl.json")
         assert loaded.scheme == "hadfl"
+
+    def test_run_with_fp32_wire(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "--scheme", "hadfl", "--model", "mlp",
+                "--train", "160", "--test", "80", "--epochs", "2",
+                "--wire-dtype", "fp32", "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        loaded = io.load_result(tmp_path / "hadfl.json")
+        assert loaded.config["wire_dtype"] == "fp32"
+        # The cast-error telemetry survives the CLI save path.
+        assert any(
+            r.detail.get("wire_cast_error", 0.0) > 0.0 for r in loaded.rounds
+        )
+
+    def test_bad_wire_dtype_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--wire-dtype", "int8"])
 
     def test_compare(self, capsys):
         code = main(

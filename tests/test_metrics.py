@@ -55,6 +55,41 @@ class TestRunResult:
         assert run.times(evaluated_only=True).size == 2
         assert run.times().size == 3
 
+    def test_each_series_filters_by_its_own_attribute(self):
+        """A round that recorded only a test loss must still appear in
+        the loss series, and a round with accuracy but no loss must not
+        inject NaN into it (the old filter keyed both on accuracy)."""
+        run = RunResult(scheme="mixed")
+        run.append(
+            RoundRecord(
+                round_index=0, sim_time=1.0, global_epoch=1.0, train_loss=1.0,
+                test_loss=0.8, test_accuracy=None,  # loss-only round
+            )
+        )
+        run.append(
+            RoundRecord(
+                round_index=1, sim_time=2.0, global_epoch=2.0, train_loss=0.9,
+                test_loss=None, test_accuracy=0.5,  # accuracy-only round
+            )
+        )
+        run.append(
+            RoundRecord(
+                round_index=2, sim_time=3.0, global_epoch=3.0, train_loss=0.8,
+                test_loss=0.6, test_accuracy=0.7,
+            )
+        )
+        np.testing.assert_allclose(run.test_losses(), [0.8, 0.6])
+        np.testing.assert_allclose(run.test_accuracies(), [0.5, 0.7])
+        assert not np.isnan(run.test_losses()).any()
+        # Times align per-metric via filter_attr.
+        np.testing.assert_allclose(
+            run.times(evaluated_only=True, filter_attr="test_loss"), [1.0, 3.0]
+        )
+        np.testing.assert_allclose(run.times(evaluated_only=True), [2.0, 3.0])
+        np.testing.assert_allclose(
+            run.epochs(evaluated_only=True, filter_attr="test_loss"), [1.0, 3.0]
+        )
+
     def test_aggregates(self):
         run = _run([0.1, 0.9, 0.7])
         assert run.best_accuracy() == 0.9
@@ -74,6 +109,16 @@ class TestRunResult:
         payload = json.loads(json.dumps(run.to_dict()))
         assert payload["scheme"] == "test"
         assert len(payload["rounds"]) == 2
+
+    def test_to_dict_preserves_detail(self):
+        """Quantisation-error telemetry must survive serialisation."""
+        run = _run([0.5])
+        run.rounds[0].detail = {"wire_dtype": "fp32", "wire_cast_error": 3e-8}
+        payload = json.loads(json.dumps(run.to_dict()))
+        assert payload["rounds"][0]["detail"] == {
+            "wire_dtype": "fp32",
+            "wire_cast_error": 3e-8,
+        }
 
 
 class TestConvergence:
@@ -106,6 +151,32 @@ class TestConvergence:
         strong = _run([0.8, 0.95], times=[1.0, 2.0])
         # Common target = 0.8: weak reaches at 4.0, strong at 1.0.
         assert speedup(weak, strong) == pytest.approx(4.0)
+
+    def test_time_to_accuracy_no_evaluated_rounds(self):
+        """A run whose rounds were never evaluated has empty accuracy
+        series: the target is simply never reached."""
+        run = RunResult(scheme="bare")
+        run.append(
+            RoundRecord(round_index=0, sim_time=1.0, global_epoch=1.0, train_loss=0.5)
+        )
+        assert time_to_accuracy(run, 0.1) is None
+        assert epochs_to_accuracy(run, 0.1) is None
+        assert time_to_accuracy(RunResult(scheme="empty"), 0.1) is None
+
+    def test_speedup_no_evaluated_rounds_raises(self):
+        evaluated = _run([0.5, 0.9])
+        bare = RunResult(scheme="bare")
+        bare.append(
+            RoundRecord(round_index=0, sim_time=1.0, global_epoch=1.0, train_loss=0.5)
+        )
+        # Default target needs both runs' best accuracies.
+        with pytest.raises(ValueError):
+            speedup(evaluated, bare)
+        with pytest.raises(ValueError):
+            speedup(bare, evaluated)
+        # An explicit target is unreachable for the unevaluated run.
+        with pytest.raises(ValueError):
+            speedup(evaluated, bare, target=0.5)
 
     def test_speedup_unreachable_raises(self):
         with pytest.raises(ValueError):
