@@ -10,6 +10,14 @@ each against a faithful re-implementation of the seed (pre-arena) code:
 * **optimizer step** — SGD (momentum + weight decay) and Adam.  Seed:
   per-parameter Python loop allocating fresh temporaries.  Fused: flat
   gather + a fixed number of in-place full-vector ops.
+* **grad path** — one full local training step (``zero_grad`` +
+  forward + backward + ``step``).  Seed: per-parameter ``grad = None``
+  reset, per-tensor gradient allocation in backward, and a per-parameter
+  gather into a scratch flat buffer before the fused kernel
+  (``ParamArena(bind_grads=False)`` reproduces exactly this, the
+  pre-grad-arena behaviour).  Grad arena: one ``grad_flat.fill(0.0)``,
+  backward accumulates straight into the flat vector, and the fused step
+  adopts it zero-copy — no gather, no per-step allocation.
 * **one full HADFL round** — ``HADFLTrainer`` on a tiny cluster, stock
   vs devices patched back onto the seed codec path with fused kernels
   disabled.  Also checks the fixed-seed loss trajectories are identical,
@@ -241,6 +249,138 @@ def bench_adam(repeats: int, inner: int) -> dict:
     return {"seed_s": seed_s, "fused_s": fused_s, "speedup": seed_s / fused_s}
 
 
+class SeedGatherSGD(SGD):
+    """PR1–3 step semantics, replicated verbatim: per-parameter
+    ``zero_grad`` loop and a per-step gather of every gradient into a
+    scratch flat buffer before the fused kernel (no zero-copy grad
+    adoption)."""
+
+    def zero_grad(self):
+        for param in self.params:
+            param.zero_grad()
+
+    def _try_fused_step(self):
+        grads = []
+        for param in self.params:
+            grad = param.grad
+            if grad is None:
+                return False
+            grads.append(grad)
+        flat = self._bind_flat()
+        if flat is None:
+            return False
+        flat_grad = self._flat_grad
+        if flat_grad is None:
+            flat_grad = self._flat_grad = np.empty(
+                self.num_scalars, dtype=np.float64
+            )
+        for grad, sl in zip(grads, self._slices):
+            flat_grad[sl] = grad.reshape(-1)
+        return self._fused_update(flat, flat_grad)
+
+
+def _grad_path_model(seed=5, depth=16, width=32, num_inputs=24):
+    """Deep, narrow MLP: many small parameter tensors, so per-parameter
+    gradient bookkeeping is a visible share of a local step."""
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    layers = []
+    fan_in = num_inputs
+    for _ in range(depth):
+        layers.append(nn.Linear(fan_in, width, rng=rng))
+        layers.append(nn.ReLU())
+        fan_in = width
+    layers.append(nn.Linear(fan_in, 10, rng=rng))
+    return nn.Sequential(*layers)
+
+
+def bench_grad_path(repeats: int, inner: int) -> dict:
+    """backward + zero_grad + step: gather-based seed vs grad arena.
+
+    The seed side is ``ParamArena(bind_grads=False)`` (per-tensor
+    gradient allocation in backward) driven by :class:`SeedGatherSGD`
+    (per-parameter ``zero_grad`` loop + per-step gather) — the exact
+    pre-grad-arena hot path.  The arena side accumulates straight into
+    ``grad_flat``, zeroes it with one fill and steps off it zero-copy.
+
+    Two measurements per side:
+
+    * ``micro`` — the backward+zero_grad+step section of a real training
+      cycle (a fresh forward rebuilds the graph each iteration but is
+      excluded from the timed section);
+    * ``step`` — the optimizer step alone on gradients left by a real
+      backward, where removing the gather shows directly.
+
+    Both sides consume the same fixed batch, so the cycle losses must be
+    bitwise identical — asserted below, as is the zero-gather property.
+    """
+    from repro.autograd import Tensor
+    from repro.nn.losses import CrossEntropyLoss
+
+    lr, momentum, wd = 0.01, 0.9, 1e-4
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(8, 24))
+    y = rng.integers(0, 10, size=8)
+    loss_fn = CrossEntropyLoss()
+
+    def make_side(bind_grads):
+        model = _grad_path_model()
+        ParamArena(model, bind_grads=bind_grads)
+        opt_cls = SGD if bind_grads else SeedGatherSGD
+        opt = opt_cls(model.parameters(), lr=lr, momentum=momentum, weight_decay=wd)
+        return model, opt
+
+    def run_micro(bind_grads):
+        model, opt = make_side(bind_grads)
+        losses = []
+
+        def timed_section() -> float:
+            loss = loss_fn(model(Tensor(x)), y)  # untimed: rebuild graph
+            start = time.perf_counter()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            elapsed = time.perf_counter() - start
+            losses.append(float(loss.data))
+            return elapsed
+
+        best = float("inf")
+        for _ in range(repeats):
+            total = 0.0
+            for _ in range(inner):
+                total += timed_section()
+            best = min(best, total / inner)
+        return best, losses, opt
+
+    def run_step(bind_grads):
+        model, opt = make_side(bind_grads)
+        loss_fn(model(Tensor(x)), y).backward()  # one real backward
+        step_s = _best_of(opt.step, repeats, inner)
+        flat = np.concatenate([p.data.reshape(-1) for p in model.parameters()])
+        return step_s, flat, opt
+
+    seed_micro_s, seed_losses, seed_opt = run_micro(bind_grads=False)
+    arena_micro_s, arena_losses, arena_opt = run_micro(bind_grads=True)
+    assert seed_opt._flat_grad is not None, "seed emulation did not gather"
+    assert arena_opt._flat_grad is None, "grad arena path fell back to the gather"
+    seed_step_s, seed_flat, _ = run_step(bind_grads=False)
+    arena_step_s, arena_flat, step_opt = run_step(bind_grads=True)
+    assert step_opt._flat_grad is None, "grad arena step gathered"
+    np.testing.assert_array_equal(seed_flat, arena_flat)
+    return {
+        "num_params": len(seed_opt.params),
+        "num_scalars": seed_opt.num_scalars,
+        "seed_s": seed_step_s,
+        "arena_s": arena_step_s,
+        "speedup": seed_step_s / arena_step_s,
+        "micro_seed_s": seed_micro_s,
+        "micro_arena_s": arena_micro_s,
+        "micro_speedup": seed_micro_s / arena_micro_s,
+        "losses_bitwise_equal": seed_losses == arena_losses,
+    }
+
+
 def _make_cluster(seed=3):
     train, test = synthetic_cifar10(
         num_train=192, num_test=96, image_size=8, seed=seed
@@ -297,6 +437,7 @@ def run(repeats: int = None) -> dict:
         "codec_roundtrip": bench_codec(repeats, inner),
         "sgd_step": bench_sgd(repeats, inner),
         "adam_step": bench_adam(repeats, inner),
+        "grad_path": bench_grad_path(repeats, inner),
         "hadfl_round": bench_hadfl_round(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -87,7 +87,15 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_grad_view",
+    )
 
     def __init__(
         self,
@@ -104,6 +112,7 @@ class Tensor:
             arr = arr.astype(np.float64)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
+        self._grad_view: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
         self._parents: Tuple[Tensor, ...] = _parents if is_grad_enabled() else ()
         self._backward = _backward if is_grad_enabled() else None
@@ -154,6 +163,38 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------------ #
+    # Gradient storage binding (the grad arena hook)
+    # ------------------------------------------------------------------ #
+    def bind_grad(self, view: np.ndarray) -> None:
+        """Pre-bind caller-owned storage for this tensor's gradient.
+
+        After binding, backward accumulation writes *in place* into
+        ``view``: the first accumulation overwrites it (``view[...] =
+        g``), later ones add (``view += g``), and ``self.grad`` is the
+        view itself whenever a gradient exists.  ``self.grad`` stays
+        ``None`` until the first accumulation (or until the owner of the
+        storage — e.g. ``ParamArena.zero_grads`` — marks it live), so
+        ``None``-skip semantics are preserved for tensors that never
+        receive a gradient.  Unbound tensors keep the original
+        allocate-on-first-accumulate behaviour.
+        """
+        view = np.asarray(view)
+        if view.shape != self.data.shape:
+            raise ValueError(
+                f"grad view shape {view.shape} does not match data shape "
+                f"{self.data.shape}"
+            )
+        if view.dtype != self.data.dtype:
+            raise ValueError(
+                f"grad view dtype {view.dtype} does not match data dtype "
+                f"{self.data.dtype}"
+            )
+        if self.grad is not None:
+            view[...] = self.grad
+            self.grad = view
+        self._grad_view = view
+
+    # ------------------------------------------------------------------ #
     # Graph construction helper
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -168,12 +209,23 @@ class Tensor:
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad``, creating it if needed."""
+        """Add ``grad`` into ``self.grad``, creating it if needed.
+
+        When grad storage is pre-bound (:meth:`bind_grad`) the first
+        accumulation writes into the bound view instead of allocating;
+        both variants produce the same values, so bound and unbound
+        tensors follow identical trajectories.
+        """
         if not self.requires_grad:
             return
         grad = np.asarray(grad)
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            view = self._grad_view
+            if view is not None:
+                view[...] = grad
+                self.grad = view
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 

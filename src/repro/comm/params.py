@@ -30,7 +30,7 @@ codec that casts every simulated payload.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,9 +54,26 @@ class ParamArena:
     away from the first.  ``include_buffers=False`` leaves buffers on
     their own storage (parameters still occupy the arena prefix in
     ``named_parameters`` order).
+
+    **Grad arena** (``bind_grads=True``, the default): the arena also
+    owns one contiguous fp64 gradient vector ``grad_flat`` with the same
+    layout as the parameter prefix (``named_parameters`` order), and each
+    parameter's gradient storage is pre-bound to a reshaped view of it
+    (:meth:`~repro.autograd.Tensor.bind_grad`).  Backward accumulation
+    then writes straight into ``grad_flat``, ``Module.zero_grad`` /
+    ``Optimizer.zero_grad`` collapse to one :meth:`zero_grads` fill, and
+    the fused optimizers adopt the whole gradient as a single zero-copy
+    vector — no per-step gather.  ``bind_grads=False`` reproduces the
+    pre-grad-arena behaviour (gradients allocated per tensor on first
+    accumulation), used by the seed-emulation benchmarks.
     """
 
-    def __init__(self, module: Module, include_buffers: bool = True):
+    def __init__(
+        self,
+        module: Module,
+        include_buffers: bool = True,
+        bind_grads: bool = True,
+    ):
         self.module = module
         self.include_buffers = include_buffers
         params = list(module.named_parameters())
@@ -85,6 +102,23 @@ class ParamArena:
             object.__setattr__(owner, local, view)
             self._buffer_entries.append((owner, local, view))
             cursor += size
+
+        self._grad_entries: List[Tuple[Parameter, np.ndarray]] = []
+        if bind_grads:
+            self.grad_flat: Optional[np.ndarray] = np.zeros(
+                self.param_scalars, dtype=np.float64
+            )
+            cursor = 0
+            for param, _ in self._param_entries:
+                size = int(param.data.size)
+                gview = self.grad_flat[cursor : cursor + size].reshape(
+                    param.data.shape
+                )
+                param.bind_grad(gview)
+                self._grad_entries.append((param, gview))
+                cursor += size
+        else:
+            self.grad_flat = None
         module._bind_arena(self)
 
     # ------------------------------------------------------------------ #
@@ -115,6 +149,32 @@ class ParamArena:
                 view[...] = owner._buffers[local]
                 owner._buffers[local] = view
                 object.__setattr__(owner, local, view)
+
+    def zero_grads(self) -> bool:
+        """Zero every parameter gradient with one vectorized fill.
+
+        Returns ``False`` when this arena does not own gradient storage
+        (``bind_grads=False``), in which case the caller must fall back
+        to the per-parameter loop.  Parameters whose ``grad`` was rebound
+        to foreign storage (e.g. a manual ``param.grad = array``
+        assignment) are repaired: the foreign gradient is dropped
+        (``grad = None``, exactly what the per-parameter path would
+        leave) and the arena view is re-bound so the next backward
+        accumulates into ``grad_flat`` again.  Gradients already living
+        in the arena stay bound as views of zeros — for a model whose
+        parameters all receive gradients each step (every model in this
+        repo) that is trajectory-identical to resetting them to ``None``.
+        """
+        if self.grad_flat is None:
+            return False
+        self.grad_flat.fill(0.0)
+        for param, gview in self._grad_entries:
+            grad = param.grad
+            if grad is not None and grad is not gview:
+                param.grad = None
+            if param._grad_view is not gview:
+                param._grad_view = gview
+        return True
 
     # ------------------------------------------------------------------ #
     def read(self) -> np.ndarray:

@@ -108,6 +108,16 @@ class Module:
         return self.train(False)
 
     def zero_grad(self) -> None:
+        """Reset all parameter gradients.
+
+        Arena-backed modules (see :class:`repro.comm.params.ParamArena`)
+        zero the whole flat gradient vector with a single fill instead of
+        looping over parameters; modules without bound grad storage keep
+        the per-parameter ``grad = None`` reset.
+        """
+        arena = self.arena
+        if arena is not None and arena.zero_grads():
+            return
         for param in self.parameters():
             param.zero_grad()
 

@@ -15,7 +15,9 @@ class Adam(Optimizer):
 
     Moment state is stored as two flat fp64 vectors matching the
     parameter layout (``_m``/``_v`` expose per-parameter reshaped views),
-    so the fused step is a fixed number of in-place full-vector ops.  The
+    so the fused step is a fixed number of in-place full-vector ops over
+    scratch — the gradient itself is never mutated, since on the
+    grad-arena path it aliases the live ``param.grad`` views.  The
     per-parameter fallback applies the same elementwise sequence through
     scratch slices, so both paths are bitwise identical.
     """
@@ -48,6 +50,7 @@ class Adam(Optimizer):
         self._t = 0
         self._scratch_a: Optional[np.ndarray] = None
         self._scratch_b: Optional[np.ndarray] = None
+        self._scratch_g: Optional[np.ndarray] = None
 
     def step(self) -> None:
         self._t += 1
@@ -60,42 +63,53 @@ class Adam(Optimizer):
             self._scratch_b = np.empty(self.num_scalars, dtype=np.float64)
         return self._scratch_a, self._scratch_b
 
+    def _get_scratch_g(self) -> np.ndarray:
+        # Third scratch, only needed under weight decay (holds g + wd*w).
+        if self._scratch_g is None:
+            self._scratch_g = np.empty(self.num_scalars, dtype=np.float64)
+        return self._scratch_g
+
     def _fused_update(self, flat_params: np.ndarray, flat_grad: np.ndarray) -> bool:
         a, b = self._get_scratch()
-        self._kernel(flat_params, flat_grad, self._flat_m, self._flat_v, a, b)
+        c = self._get_scratch_g() if self.weight_decay else None
+        self._kernel(flat_params, flat_grad, self._flat_m, self._flat_v, a, b, c)
         return True
 
     def _update(self, index: int, param: Parameter) -> None:
         sl, shape = self._slices[index], self._shapes[index]
         a, b = self._get_scratch()
-        grad_slice = self._flat_grad_slice(index)
-        grad_slice[...] = param.grad
+        c = (
+            self._get_scratch_g()[sl].reshape(shape)
+            if self.weight_decay
+            else None
+        )
         self._kernel(
             param.data,
-            grad_slice,
+            # fp64 like the gather on the fused path, so fused-vs-fallback
+            # parity holds even for manually assigned narrow-dtype grads.
+            np.asarray(param.grad, dtype=np.float64),
             self._m[index],
             self._v[index],
             a[sl].reshape(shape),
             b[sl].reshape(shape),
+            c,
         )
 
-    def _flat_grad_slice(self, index: int) -> np.ndarray:
-        if self._flat_grad is None:
-            self._flat_grad = np.empty(self.num_scalars, dtype=np.float64)
-        return self._flat_grad[self._slices[index]].reshape(self._shapes[index])
-
-    def _kernel(self, w, g, m, v, a, b) -> None:
+    def _kernel(self, w, g, m, v, a, b, c) -> None:
         """The Adam update as in-place ops over matching-shape arrays.
 
-        ``g``, ``a`` and ``b`` are scratch (mutated freely); ``w``, ``m``
-        and ``v`` are the live parameter/state arrays.  The elementwise
+        ``a``/``b`` are scratch (mutated freely) and ``c`` is the
+        weight-decay scratch (``None`` without decay); ``g`` is
+        **read-only** — it may alias the live gradient; ``w``, ``m`` and
+        ``v`` are the live parameter/state arrays.  The elementwise
         sequence matches the reference per-parameter implementation
         exactly (fp multiply/add commutativity), so fused and fallback
         trajectories are bitwise identical.
         """
         if self.weight_decay:
-            np.multiply(w, self.weight_decay, out=a)
-            g += a  # grad + wd * w
+            np.multiply(w, self.weight_decay, out=c)
+            c += g  # wd * w + grad  (fp add is commutative)
+            g = c
         m *= self.beta1
         np.multiply(g, 1 - self.beta1, out=a)
         m += a

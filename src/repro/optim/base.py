@@ -8,12 +8,25 @@ Optimizers keep two update paths:
   operations instead of a Python loop over layers.  Parameters bound to
   a :class:`~repro.comm.params.ParamArena` are adopted zero-copy (they
   already occupy the arena prefix); standalone parameters are packed
-  into a private flat block once, on first step.
+  into a private flat block once, on first step.  With the grad arena
+  (bound grad storage), the *gradient* is adopted zero-copy as well —
+  no per-step gather — and kernels treat it as read-only.
 * **Per-parameter fallback**: preserves the exact seed semantics when
   some gradients are ``None`` (those parameters are skipped) or when the
   parameters cannot be flattened (non-fp64, exotic views).  Both paths
   apply bitwise-identical elementwise arithmetic, so switching between
   them never perturbs a training trajectory.
+
+``None``-skip caveat on the grad-arena path: once a bound parameter has
+accumulated a gradient, :meth:`Optimizer.zero_grad` resets it to a live
+*view of zeros*, not to ``None`` — so a parameter that receives no
+gradient in a later step contributes a zero gradient (momentum decay and
+weight decay still apply) instead of being skipped.  That is
+indistinguishable for models whose parameters all receive gradients
+every step (every model in this repo); a model with conditionally
+executed branches that needs exact skip semantics must run unbound
+(``ParamArena(..., bind_grads=False)``) or clear ``param.grad = None``
+explicitly.  See :meth:`repro.comm.params.ParamArena.zero_grads`.
 """
 
 from __future__ import annotations
@@ -34,15 +47,15 @@ def _root_base(arr: np.ndarray) -> np.ndarray:
     return root
 
 
-def _adopt_contiguous(params: List[Parameter]) -> Optional[np.ndarray]:
-    """Return a flat view over the params' shared storage, if they pack.
+def _adopt_contiguous(arrays: List[np.ndarray]) -> Optional[np.ndarray]:
+    """Return a flat view over the arrays' shared storage, if they pack.
 
-    Succeeds when every ``param.data`` is a C-contiguous fp64 view into
-    the same 1-D fp64 base (e.g. a :class:`ParamArena`), laid out
-    back-to-back in parameter order — then the single slice
-    ``base[start:end]`` aliases every parameter at once.
+    Succeeds when every array is a C-contiguous fp64 view into the same
+    1-D fp64 base (e.g. a :class:`ParamArena` vector — parameter data or
+    the grad arena), laid out back-to-back in order — then the single
+    slice ``base[start:end]`` aliases every array at once.
     """
-    root = _root_base(params[0].data)
+    root = _root_base(arrays[0])
     if (
         root.dtype != np.float64
         or root.ndim != 1
@@ -52,8 +65,7 @@ def _adopt_contiguous(params: List[Parameter]) -> Optional[np.ndarray]:
     root_ptr = root.__array_interface__["data"][0]
     itemsize = root.itemsize
     start = cursor = None
-    for param in params:
-        data = param.data
+    for data in arrays:
         if data.dtype != np.float64 or not data.flags["C_CONTIGUOUS"]:
             return None
         if _root_base(data) is not root:
@@ -73,21 +85,26 @@ def _adopt_contiguous(params: List[Parameter]) -> Optional[np.ndarray]:
 def _pack_private(params: List[Parameter]) -> Optional[np.ndarray]:
     """Pack standalone parameters into a fresh contiguous flat block.
 
-    Rebinds each ``param.data`` to a view of the block (the same move a
-    :class:`ParamArena` makes).  Refuses when any parameter is a view of
-    foreign storage — rebinding those would silently disconnect them from
-    whatever owns the memory (e.g. another module's arena).
+    Rebinds each ``param.data`` to a view of the block and pre-binds a
+    matching private flat gradient block (the same moves a
+    :class:`ParamArena` makes), so subsequent backwards accumulate into
+    contiguous grad storage the fused step adopts zero-copy.  Refuses
+    when any parameter is a view of foreign storage — rebinding those
+    would silently disconnect them from whatever owns the memory (e.g.
+    another module's arena).
     """
     for param in params:
         if param.data.base is not None:
             return None
     flat = np.empty(sum(int(p.data.size) for p in params), dtype=np.float64)
+    grad_flat = np.zeros_like(flat)
     cursor = 0
     for param in params:
         size = int(param.data.size)
         view = flat[cursor : cursor + size].reshape(param.data.shape)
         view[...] = param.data
         param.data = view
+        param.bind_grad(grad_flat[cursor : cursor + size].reshape(view.shape))
         cursor += size
     return flat
 
@@ -128,11 +145,32 @@ class Optimizer:
         self._flat_params: Optional[np.ndarray] = None
         self._param_views: Optional[List[np.ndarray]] = None
         self._flat_grad: Optional[np.ndarray] = None
+        self._grad_views: Optional[List[np.ndarray]] = None
+        self._flat_grad_adopted: Optional[np.ndarray] = None
+        self._grad_storage_views: Optional[List[np.ndarray]] = None
+        self._flat_grad_storage: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def zero_grad(self) -> None:
+        """Reset all gradients.
+
+        When every parameter's gradient storage is pre-bound to one
+        contiguous vector (the grad arena, or this optimizer's private
+        pack), the reset is a single vectorized ``fill(0.0)`` — no
+        per-parameter ``zero_grad`` calls.  Gradients rebound to foreign
+        storage by manual assignment are dropped to ``None`` exactly as
+        the per-parameter path would.
+        """
+        flat = self._bind_grad_storage()
+        if flat is None:
+            for param in self.params:
+                param.zero_grad()
+            return
+        flat.fill(0.0)
         for param in self.params:
-            param.zero_grad()
+            grad = param.grad
+            if grad is not None and grad is not param._grad_view:
+                param.grad = None
 
     def step(self) -> None:
         """Apply one update using the gradients currently stored."""
@@ -166,27 +204,98 @@ class Optimizer:
                     break
             else:
                 return self._flat_params
-        flat = _adopt_contiguous(self.params)
+        flat = self._adopt_and_cache(
+            "_param_views", "_flat_params", [p.data for p in self.params]
+        )
         if flat is None:
             flat = _pack_private(self.params)
-        if flat is None:
-            self._flat_params = None
-            self._param_views = None
-            return None
-        self._flat_params = flat
-        self._param_views = [p.data for p in self.params]
+            if flat is not None:
+                self._flat_params = flat
+                self._param_views = [p.data for p in self.params]
         return flat
 
-    def _try_fused_step(self) -> bool:
+    def _adopt_and_cache(
+        self,
+        views_attr: str,
+        flat_attr: str,
+        arrays: Optional[List[np.ndarray]],
+    ) -> Optional[np.ndarray]:
+        """Shared slow path of the three binders: adopt ``arrays`` as one
+        contiguous flat view and (in)validate the per-binder cache;
+        ``arrays=None`` means some slot was missing — cache the failure.
+        The callers keep their identity-check loops inline: those run
+        every step, and a shared accessor callback would put a Python
+        call per parameter on the hot path.
+        """
+        flat = _adopt_contiguous(arrays) if arrays is not None else None
+        setattr(self, views_attr, arrays if flat is not None else None)
+        setattr(self, flat_attr, flat)
+        return flat
+
+    def _bind_grad_storage(self) -> Optional[np.ndarray]:
+        """Flat vector over the params' *bound* grad views (grad arena).
+
+        Valid whether or not gradients currently exist — this is the
+        storage backing them, the target of the vectorized ``zero_grad``
+        fill.  ``None`` when any parameter lacks bound storage or the
+        views don't pack contiguously.
+        """
+        views = self._grad_storage_views
+        if views is not None:
+            for param, view in zip(self.params, views):
+                if param._grad_view is not view:
+                    break
+            else:
+                return self._flat_grad_storage
+        gviews = []
+        for param in self.params:
+            view = param._grad_view
+            if view is None:
+                gviews = None
+                break
+            gviews.append(view)
+        return self._adopt_and_cache(
+            "_grad_storage_views", "_flat_grad_storage", gviews
+        )
+
+    def _bind_flat_grad(self) -> Optional[np.ndarray]:
+        """Zero-copy flat view over the *live* gradients, if they pack.
+
+        Succeeds on the grad-arena path, where every ``param.grad`` is a
+        back-to-back view into one contiguous vector — the fused step
+        then reads the whole gradient without any per-parameter gather.
+        ``None`` when a gradient is missing or lives on foreign storage.
+        """
+        views = self._grad_views
+        if views is not None:
+            for param, view in zip(self.params, views):
+                if param.grad is not view:
+                    break
+            else:
+                return self._flat_grad_adopted
         grads = []
         for param in self.params:
             grad = param.grad
             if grad is None:
-                return False
+                grads = None
+                break
             grads.append(grad)
-        flat = self._bind_flat()
-        if flat is None:
-            return False
+        return self._adopt_and_cache("_grad_views", "_flat_grad_adopted", grads)
+
+    def _gather_grads(self) -> Optional[np.ndarray]:
+        """Copy per-parameter gradients into the cached scratch vector.
+
+        Compatibility path for gradients that were assigned manually as
+        standalone arrays (real backward passes on arena-backed models
+        never reach it — their gradients adopt zero-copy).  The scratch
+        buffer is allocated once and reused.
+        """
+        grads = []
+        for param in self.params:
+            grad = param.grad
+            if grad is None:
+                return None
+            grads.append(grad)
         flat_grad = self._flat_grad
         if flat_grad is None:
             flat_grad = self._flat_grad = np.empty(
@@ -194,13 +303,25 @@ class Optimizer:
             )
         for grad, sl in zip(grads, self._slices):
             flat_grad[sl] = grad.reshape(-1)
+        return flat_grad
+
+    def _try_fused_step(self) -> bool:
+        flat = self._bind_flat()
+        if flat is None:
+            return False
+        flat_grad = self._bind_flat_grad()
+        if flat_grad is None:
+            flat_grad = self._gather_grads()
+        if flat_grad is None:
+            return False
         return self._fused_update(flat, flat_grad)
 
     def _fused_update(self, flat_params: np.ndarray, flat_grad: np.ndarray) -> bool:
         """Whole-arena update; return False to fall back to :meth:`_update`.
 
-        ``flat_grad`` is a scratch buffer owned by the optimizer —
-        kernels may mutate it freely.
+        ``flat_grad`` is **read-only**: on the grad-arena path it aliases
+        the live ``param.grad`` views, so kernels must compute into their
+        own scratch instead of mutating it.
         """
         return False
 

@@ -21,10 +21,12 @@ class SGD(Optimizer):
 
     Momentum state lives in one flat fp64 vector matching the parameter
     layout; ``_buffers`` exposes per-parameter reshaped views of it.  The
-    fused step applies the whole update as in-place full-vector ops; the
-    per-parameter fallback computes into reusable scratch slices instead
-    of allocating ``grad + wd * w`` / Nesterov temporaries per step.
-    Both paths are elementwise (bitwise) identical.
+    fused step applies the whole update as in-place full-vector ops over
+    scratch — never mutating ``flat_grad``, which on the grad-arena path
+    aliases the live ``param.grad`` views; the per-parameter fallback
+    computes into reusable scratch slices instead of allocating
+    ``grad + wd * w`` / Nesterov temporaries per step.  Both paths are
+    elementwise (bitwise) identical.
     """
 
     def __init__(
@@ -55,6 +57,7 @@ class SGD(Optimizer):
             self._flat_buf = None
             self._buffers = [None] * len(self.params)
         self._scratch: Optional[np.ndarray] = None
+        self._scratch_b: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def _get_scratch(self) -> np.ndarray:
@@ -62,20 +65,30 @@ class SGD(Optimizer):
             self._scratch = np.empty(self.num_scalars, dtype=np.float64)
         return self._scratch
 
+    def _get_scratch_b(self) -> np.ndarray:
+        if self._scratch_b is None:
+            self._scratch_b = np.empty(self.num_scalars, dtype=np.float64)
+        return self._scratch_b
+
     def _fused_update(self, flat_params: np.ndarray, flat_grad: np.ndarray) -> bool:
+        # ``flat_grad`` may alias the live gradients — read-only.  Every
+        # reassociation below swaps operands of an fp add, which is
+        # commutative, so values stay bitwise identical to the fallback.
         scratch = self._get_scratch()
         grad = flat_grad
         if self.weight_decay:
             np.multiply(flat_params, self.weight_decay, out=scratch)
-            grad += scratch  # grad + wd * w  (fp add is commutative)
+            scratch += flat_grad  # wd * w + grad
+            grad = scratch
         if self.momentum:
             buf = self._flat_buf
             buf *= self.momentum
             buf += grad
             if self.nesterov:
-                np.multiply(buf, self.momentum, out=scratch)
-                grad += scratch  # g + m * buf
-                step_vec = grad
+                nes = self._get_scratch_b()
+                np.multiply(buf, self.momentum, out=nes)
+                nes += grad  # m * buf + g
+                step_vec = nes
             else:
                 step_vec = buf
         else:
@@ -87,7 +100,9 @@ class SGD(Optimizer):
     def _update(self, index: int, param: Parameter) -> None:
         sl, shape = self._slices[index], self._shapes[index]
         scratch = self._get_scratch()[sl].reshape(shape)
-        grad = param.grad
+        # fp64 like the gather on the fused path, so fused-vs-fallback
+        # parity holds even for manually assigned narrow-dtype grads.
+        grad = np.asarray(param.grad, dtype=np.float64)
         if self.weight_decay:
             np.multiply(param.data, self.weight_decay, out=scratch)
             scratch += grad

@@ -5,7 +5,8 @@ The pool is the engine behind ``ProcessExecutor``:
 * Workers are forked once per (pool, cluster) and inherit full device
   replicas — model, optimizer, shard — for free via copy-on-write, so no
   factory ever needs to be picklable.
-* Per task, the parent packs the device's arena + optimizer flat vectors
+* Per task, the parent packs the device's arena + grad vector +
+  optimizer flat vectors
   into that device's slot of one shared fp64 block (``mp.RawArray``: an
   anonymous shared mapping both sides address directly, no serialisation)
   and pipes over the small state (RNG streams, cycler order, counters).

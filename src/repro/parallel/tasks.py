@@ -7,11 +7,12 @@ tasks through :func:`execute_task`, which is the *only* place a backend
 touches a device's training loop, so every backend shares the serial
 semantics by construction.
 
-The state helpers pack the two large per-device vectors — the parameter
-arena and the optimizer's flat state (momentum / Adam moments) — into one
-contiguous fp64 slot, the unit the process backend ships through shared
-memory.  Small state (RNG streams, cycler order, version counters)
-travels separately via :meth:`repro.sim.device.Device.export_train_state`.
+The state helpers pack the large per-device vectors — the parameter
+arena, its flat gradient vector, and the optimizer's flat state
+(momentum / Adam moments) — into one contiguous fp64 slot, the unit the
+process backend ships through shared memory.  Small state (RNG streams,
+cycler order, version counters) travels separately via
+:meth:`repro.sim.device.Device.export_train_state`.
 """
 
 from __future__ import annotations
@@ -58,23 +59,41 @@ def execute_task(device, task: LocalTrainTask):
 
 
 # ---------------------------------------------------------------------- #
-# Flat-state shipping: [arena | optimizer flat vectors] per device.
+# Flat-state shipping: [arena | grad vector | optimizer flat vectors]
+# per device.
 # ---------------------------------------------------------------------- #
 
 
+def _state_vectors(device):
+    """The dense fp64 vectors shipped alongside the arena, in slot order.
+
+    The grad arena rides along so a replica's post-burst gradient state
+    (the values the last local step accumulated) is identical whether the
+    burst ran serially or on a forked worker — the bitwise-parity
+    contract covers gradients too, and future wire quantisers (DGC/QSGD
+    importance scoring) read them between bursts.
+    """
+    vectors = []
+    grad_flat = device.arena.grad_flat
+    if grad_flat is not None:
+        vectors.append(grad_flat)
+    vectors.extend(device.optimizer.flat_state())
+    return vectors
+
+
 def device_state_scalars(device) -> int:
-    """fp64 scalars of a device's shared-memory slot (arena + optimizer)."""
+    """fp64 scalars of a device's slot (arena + grads + optimizer)."""
     return device.arena.num_scalars + sum(
-        int(vec.size) for vec in device.optimizer.flat_state()
+        int(vec.size) for vec in _state_vectors(device)
     )
 
 
 def export_state_into(device, slot: np.ndarray) -> None:
-    """Copy the device's arena and optimizer vectors into ``slot``."""
+    """Copy the device's arena, grad and optimizer vectors into ``slot``."""
     n = device.arena.num_scalars
     device.arena.export_into(slot[:n])
     cursor = n
-    for vec in device.optimizer.flat_state():
+    for vec in _state_vectors(device):
         size = int(vec.size)
         slot[cursor : cursor + size] = vec.reshape(-1)
         cursor += size
@@ -83,11 +102,11 @@ def export_state_into(device, slot: np.ndarray) -> None:
 
 
 def import_state_from(device, slot: np.ndarray) -> None:
-    """Write ``slot`` back into the device's arena and optimizer vectors."""
+    """Write ``slot`` back into the device's arena/grad/optimizer vectors."""
     n = device.arena.num_scalars
     device.arena.write(slot[:n])
     cursor = n
-    for vec in device.optimizer.flat_state():
+    for vec in _state_vectors(device):
         size = int(vec.size)
         vec.reshape(-1)[:] = slot[cursor : cursor + size]
         cursor += size

@@ -120,7 +120,8 @@ class SimulatedCluster:
         self._eval_model = model_factory(np.random.default_rng(seed))
         # Arena-backed evaluation replica: per-round evaluation loads are
         # a single vectorized write instead of a per-parameter unflatten.
-        self._eval_arena = ParamArena(self._eval_model)
+        # No grad storage: this replica only ever runs forward passes.
+        self._eval_arena = ParamArena(self._eval_model, bind_grads=False)
         self.codec = FlatParamCodec(self._eval_model)
         self.initial_params = self.codec.flatten(self._eval_model)
         self.model_nbytes = self.wire.nbytes(self.codec.num_scalars)

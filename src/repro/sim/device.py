@@ -99,8 +99,11 @@ class Device:
         self.cycler = cycler
         self.lr_schedule = lr_schedule
         self.loss_fn = loss_fn or CrossEntropyLoss()
-        # The arena makes the whole replica state one contiguous vector;
-        # all parameter traffic below goes through it.
+        # The arena makes the whole replica state one contiguous vector
+        # (and binds every parameter gradient into its flat grad vector);
+        # all parameter traffic below goes through it, and the train loop's
+        # zero_grad/step hit the optimizer's flat fill / zero-copy grad
+        # fast paths.
         self.arena = ParamArena(model)
         self._codec: Optional[FlatParamCodec] = None
         self.version = 0
@@ -255,9 +258,10 @@ class Device:
         ]
 
     def export_train_state(self) -> dict:
-        """Everything a training burst mutates *except* the arena and the
-        optimizer's flat vectors (those are large and travel through
-        shared memory — see :mod:`repro.parallel`).
+        """Everything a training burst mutates *except* the arena, its
+        flat grad vector and the optimizer's flat vectors (those are
+        large and travel through shared memory — see
+        :mod:`repro.parallel`).
 
         Restoring this snapshot on an architecture-identical replica and
         replaying the same burst reproduces the serial trajectory

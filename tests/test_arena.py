@@ -6,6 +6,13 @@ contiguous fp64 vector, and every in-repo mutation path (optimizer steps,
 ``set_buffer``, ``load_state_dict``, codec ``unflatten``) preserves that
 aliasing.  The fused optimizer kernels must be bitwise-identical to the
 per-parameter fallback, which in turn replicates the seed arithmetic.
+
+The **grad arena** extends the same contract to gradients: every
+``param.grad`` produced by backward on an arena-backed model is a view
+into ``arena.grad_flat`` (params prefix, ``named_parameters`` order),
+``zero_grad`` is one vectorized fill with zero per-parameter calls, and
+the fused optimizer step adopts the grad vector zero-copy — no
+per-parameter gather, no per-step flat-buffer allocation.
 """
 
 import sys
@@ -195,6 +202,34 @@ class TestFusedOptimizerParity:
             _reference_flat(fused_model), _reference_flat(plain_model)
         )
 
+    @pytest.mark.parametrize(
+        "make_opt",
+        [
+            lambda ps: SGD(ps, lr=0.05),
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+            lambda ps: Adam(ps, lr=1e-3),
+        ],
+    )
+    def test_fallback_casts_narrow_grads_like_fused(self, make_opt):
+        # The fused path gathers manually assigned grads into fp64; the
+        # per-parameter fallback must do its arithmetic in fp64 too.
+        fused_model, plain_model = _model(0), _model(0)
+        ParamArena(fused_model)
+        fused = make_opt(fused_model.parameters())
+        plain = make_opt(plain_model.parameters())
+        plain.fused = False
+        for step_seed in range(3):
+            rng = np.random.default_rng(step_seed)
+            for fp, pp in zip(fused_model.parameters(), plain_model.parameters()):
+                grad = rng.normal(size=fp.data.shape).astype(np.float32)
+                fp.grad = grad
+                pp.grad = grad.copy()
+            fused.step()
+            plain.step()
+        np.testing.assert_array_equal(
+            _reference_flat(fused_model), _reference_flat(plain_model)
+        )
+
     def test_fused_adopts_arena_built_after_optimizer(self):
         # The cluster constructs the optimizer *before* the Device wraps
         # the model in an arena; the fused path must adopt the rebind.
@@ -235,3 +270,207 @@ class TestFusedOptimizerParity:
             if first_loss is None:
                 first_loss = float(loss.data)
         assert float(loss.data) < first_loss
+
+
+def _scalar_offset(view: np.ndarray, base: np.ndarray) -> int:
+    """Element offset of ``view``'s storage within the 1-D ``base``."""
+    delta = (
+        view.__array_interface__["data"][0]
+        - base.__array_interface__["data"][0]
+    )
+    assert delta % base.itemsize == 0
+    return delta // base.itemsize
+
+
+def _backward_once(model, seed=0, batch=8):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, 3, 8, 8))
+    y = rng.integers(0, 10, size=batch)
+    loss = CrossEntropyLoss()(model(Tensor(x)), y)
+    loss.backward()
+    return loss
+
+
+class TestGradArena:
+    def test_backward_writes_views_into_grad_flat(self):
+        """Every ``param.grad`` is a view into ``grad_flat`` at the same
+        offset the parameter occupies in the params prefix — including
+        bias parameters, whose gradients arrive through the
+        broadcast/unbroadcast path."""
+        model = _model(0)
+        arena = ParamArena(model)
+        _backward_once(model)
+        cursor = 0
+        for name, param in model.named_parameters():
+            grad = param.grad
+            assert grad is not None, name
+            assert grad.shape == param.data.shape
+            assert np.shares_memory(grad, arena.grad_flat), name
+            assert _scalar_offset(grad, arena.grad_flat) == cursor, name
+            cursor += param.data.size
+        assert cursor == arena.param_scalars
+
+    def test_second_backward_accumulates_in_place(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        _backward_once(model, seed=1)
+        views = [p.grad for p in model.parameters()]
+        single = arena.grad_flat.copy()
+        _backward_once(model, seed=1)  # same batch: gradient doubles
+        for param, view in zip(model.parameters(), views):
+            assert param.grad is view  # accumulated, not reallocated
+        np.testing.assert_array_equal(arena.grad_flat, 2.0 * single)
+
+    def test_module_zero_grad_is_single_fill(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        _backward_once(model)
+        assert arena.grad_flat.any()
+        calls = []
+        original = Tensor.zero_grad
+        Tensor.zero_grad = lambda self: calls.append(self) or original(self)
+        try:
+            model.zero_grad()
+        finally:
+            Tensor.zero_grad = original
+        assert calls == []  # regression: no per-param zero_grad calls
+        assert not arena.grad_flat.any()
+        # Grads stay bound views of zeros; backward accumulates afresh.
+        for param in model.parameters():
+            assert param.grad is param._grad_view
+
+    def test_unbound_module_keeps_per_param_zero_grad(self):
+        model = _model(0)
+        _backward_once(model)
+        calls = []
+        original = Tensor.zero_grad
+        Tensor.zero_grad = lambda self: calls.append(self) or original(self)
+        try:
+            model.zero_grad()
+        finally:
+            Tensor.zero_grad = original
+        assert len(calls) == len(model.parameters())
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_optimizer_zero_grad_is_single_fill(self):
+        model = _model(0)
+        arena = ParamArena(model)
+        opt = SGD(model.parameters(), lr=0.1)
+        _backward_once(model)
+        calls = []
+        original = Tensor.zero_grad
+        Tensor.zero_grad = lambda self: calls.append(self) or original(self)
+        try:
+            opt.zero_grad()
+        finally:
+            Tensor.zero_grad = original
+        assert calls == []
+        assert not arena.grad_flat.any()
+
+    def test_zero_grad_drops_foreign_grad(self):
+        """A manually assigned gradient (foreign storage) must not survive
+        the vectorized reset — seed semantics leave it ``None``."""
+        model = _model(0)
+        arena = ParamArena(model)
+        first = model.parameters()[0]
+        first.grad = np.ones(first.data.shape)
+        model.zero_grad()
+        assert first.grad is None
+        _backward_once(model)
+        assert first.grad is first._grad_view
+        assert np.shares_memory(first.grad, arena.grad_flat)
+
+    def test_fused_step_adopts_grads_zero_copy(self):
+        """The fused step must read gradients straight off ``grad_flat``:
+        no gather scratch is ever allocated and the adopted vector
+        aliases the arena's grad storage."""
+        model = _model(0)
+        arena = ParamArena(model)
+        opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        for step in range(3):
+            opt.zero_grad()
+            _backward_once(model, seed=step)
+            opt.step()
+        assert opt._flat_grad is None  # gather scratch never allocated
+        adopted = opt._flat_grad_adopted
+        assert adopted is not None
+        assert adopted.size == arena.param_scalars
+        assert (
+            adopted is arena.grad_flat
+            or adopted.base is arena.grad_flat
+        )
+
+    def test_manual_grads_still_drive_fused_via_gather(self):
+        model = _model(0)
+        ParamArena(model)
+        opt = SGD(model.parameters(), lr=0.05)
+        rng = np.random.default_rng(2)
+        for param in model.parameters():
+            param.grad = rng.normal(size=param.data.shape)
+        before = model.parameters()[0].data.copy()
+        opt.step()
+        assert opt._flat_params is not None  # fused path ran
+        assert opt._flat_grad is not None  # via the gather scratch
+        assert not np.array_equal(model.parameters()[0].data, before)
+
+    def test_kernels_do_not_mutate_live_gradients(self):
+        """``flat_grad`` aliases ``param.grad`` on the arena path, so the
+        fused kernels must leave it untouched."""
+        for make_opt in (
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9, weight_decay=1e-3, nesterov=True),
+            lambda ps: Adam(ps, lr=1e-3, weight_decay=1e-3),
+        ):
+            model = _model(0)
+            arena = ParamArena(model)
+            opt = make_opt(model.parameters())
+            opt.zero_grad()
+            _backward_once(model)
+            before = arena.grad_flat.copy()
+            opt.step()
+            np.testing.assert_array_equal(arena.grad_flat, before)
+
+    @pytest.mark.parametrize(
+        "make_opt",
+        [
+            lambda ps: SGD(ps, lr=0.05),
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9, weight_decay=1e-3, nesterov=True),
+            lambda ps: Adam(ps, lr=1e-3),
+            lambda ps: Adam(ps, lr=1e-3, weight_decay=1e-4),
+        ],
+    )
+    def test_real_backward_trajectories_bitwise_equal(self, make_opt):
+        """Grad-arena fused vs arena fallback vs fully unbound (seed
+        allocate-on-accumulate) training: identical losses and final
+        parameters, bit for bit."""
+
+        def run(mode):
+            model = _model(0)
+            ParamArena(model, bind_grads=(mode != "unbound"))
+            opt = make_opt(model.parameters())
+            if mode == "fallback":
+                opt.fused = False
+            losses = []
+            for step in range(5):
+                opt.zero_grad()
+                loss = _backward_once(model, seed=step)
+                opt.step()
+                losses.append(float(loss.data))
+            return losses, _reference_flat(model)
+
+        ref_losses, ref_flat = run("fused")
+        for mode in ("fallback", "unbound"):
+            losses, flat = run(mode)
+            assert losses == ref_losses, mode
+            np.testing.assert_array_equal(flat, ref_flat)
+
+    def test_unbound_arena_has_no_grad_vector(self):
+        model = _model(0)
+        arena = ParamArena(model, bind_grads=False)
+        assert arena.grad_flat is None
+        assert not arena.zero_grads()
+        _backward_once(model)
+        for param in model.parameters():
+            assert param._grad_view is None
+            assert param.grad is not None
+            assert param.grad.base is None  # freshly allocated, seed-style

@@ -85,6 +85,11 @@ def _assert_bitwise_equal(ref, other, backend):
             ref_device.optimizer.flat_state(), device.optimizer.flat_state()
         ):
             np.testing.assert_array_equal(ref_vec, vec, err_msg=backend)
+        # The grad arena ships with the slot: post-burst gradient state
+        # (the last local step's accumulation) matches serial bitwise.
+        np.testing.assert_array_equal(
+            ref_device.arena.grad_flat, device.arena.grad_flat, err_msg=backend
+        )
         # The RNG streams advanced identically: the next draws agree.
         assert (
             ref_device._rng.bit_generator.state == device._rng.bit_generator.state
@@ -252,14 +257,23 @@ class TestStateRoundTrip:
         cluster = config.make_cluster()
         device = cluster.devices[0]
         device.train_steps(3, start_time=0.0)
+        assert device.arena.grad_flat.any()  # the burst left real gradients
         slot = np.empty(device_state_scalars(device), dtype=np.float64)
+        assert slot.size == (
+            device.arena.num_scalars
+            + device.arena.grad_flat.size
+            + sum(v.size for v in device.optimizer.flat_state())
+        )
         export_state_into(device, slot)
         params = device.get_params()
+        grads = device.arena.grad_flat.copy()
         momentum = device.optimizer.flat_state()[0].copy()
         device.set_params(np.zeros_like(params))
+        device.arena.grad_flat[:] = -2.0
         device.optimizer.flat_state()[0][:] = -1.0
         import_state_from(device, slot)
         np.testing.assert_array_equal(device.get_params(), params)
+        np.testing.assert_array_equal(device.arena.grad_flat, grads)
         np.testing.assert_array_equal(device.optimizer.flat_state()[0], momentum)
 
 

@@ -73,5 +73,9 @@ class TestHotpathBench:
         assert results["codec_roundtrip"]["speedup"] > 2.0
         assert results["sgd_step"]["speedup"] > 1.2
         assert results["adam_step"]["speedup"] > 1.2
+        # Grad arena: the zero-copy step must beat the gather-based seed
+        # step, and the real-backward trajectories must stay bitwise.
+        assert results["grad_path"]["speedup"] > 1.2
+        assert results["grad_path"]["losses_bitwise_equal"]
         assert results["hadfl_round"]["losses_bitwise_equal"]
         assert (tmp_path / "hotpath.json").exists()
