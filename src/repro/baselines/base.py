@@ -37,6 +37,10 @@ class SchemeTrainer:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.rng = np.random.default_rng(np.random.SeedSequence([seed, 0xBA5E]))
         self._global_params = np.array(cluster.initial_params, copy=True)
+        # Delta-shipping reference for sparsifying wire formats: the
+        # model state every device shares (initially the common initial
+        # model; synchronous schemes refresh it each aggregation).
+        self._wire_reference = np.array(cluster.initial_params, copy=True)
 
     # ------------------------------------------------------------------ #
     def wait_for_all_alive(self) -> None:

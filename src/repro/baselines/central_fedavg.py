@@ -81,19 +81,25 @@ class CentralizedFedAvgTrainer(SchemeTrainer):
         wire_cast_error = 0.0
         uploads = []
         for device in devices:
-            received, err = self.wire.transmit_with_error(
-                device.get_params_view()
+            # Server and device share the last downloaded global model —
+            # the delta reference for sparsifying wires in both
+            # directions.
+            received, err = self.wire.transmit_delta_with_error(
+                device.get_params_view(), self._wire_reference
             )
             wire_cast_error = max(wire_cast_error, err)
             uploads.append(received)
         stacked = np.stack(uploads)
         averaged = np.tensordot(weights, stacked, axes=1)
         download = cluster.network.sequential_sends_time(m, k)
-        downloaded, err = self.wire.transmit_with_error(averaged)
+        downloaded, err = self.wire.transmit_delta_with_error(
+            averaged, self._wire_reference
+        )
         wire_cast_error = max(wire_cast_error, err)
         for device in devices:
             device.set_params(downloaded)
         self._global_params = averaged
+        self._wire_reference = downloaded
 
         round_server_bytes = 2 * k * m  # the Sec. II-B per-round volume
         self.server_bytes += round_server_bytes

@@ -45,10 +45,16 @@ class DistributedTrainer(SchemeTrainer):
                 slowest = max(slowest, burst.elapsed)
                 losses.append(burst.mean_loss)
             vectors = [d.get_params_view() for d in devices]
-            averaged, stats = ring_allreduce_detailed(vectors, wire=self.wire)
+            # Every device holds the previous iteration's averaged model
+            # exactly — the natural delta reference for sparsifying
+            # wires.
+            averaged, stats = ring_allreduce_detailed(
+                vectors, wire=self.wire, reference=self._wire_reference
+            )
             for device in devices:
                 device.set_params(averaged)
             self._global_params = averaged
+            self._wire_reference = averaged
             self.volume.record(t_iter, stats.total_bytes, "ring_allreduce")
             round_bytes += stats.total_bytes
             wire_cast_error = max(wire_cast_error, stats.max_cast_error)

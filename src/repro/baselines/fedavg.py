@@ -67,10 +67,13 @@ class DecentralizedFedAvgTrainer(SchemeTrainer):
         # arena views — the ring copies into its node buffers on ingest,
         # and every exchanged segment crosses the wire format.
         vectors = [d.get_params_view() for d in devices]
-        averaged, stats = ring_allreduce_detailed(vectors, wire=self.wire)
+        averaged, stats = ring_allreduce_detailed(
+            vectors, wire=self.wire, reference=self._wire_reference
+        )
         for device in devices:
             device.set_params(averaged)
         self._global_params = averaged
+        self._wire_reference = averaged
         gossip_time = cluster.network.ring_time_for(
             [d.device_id for d in devices], cluster.model_nbytes
         )

@@ -35,7 +35,7 @@ from repro.experiments import (
     run_table1,
 )
 from repro.experiments.runner import SCHEMES
-from repro.comm.wire import available_wire_formats
+from repro.comm.wire import available_wire_formats, get_wire_format
 from repro.metrics import ascii_plot, comparison_table, series_from_results
 from repro.nn.models import available_models
 
@@ -50,6 +50,15 @@ def _parse_ratio(text: str) -> tuple:
     if not ratio or any(p <= 0 for p in ratio):
         raise argparse.ArgumentTypeError(f"powers must be positive: {text!r}")
     return ratio
+
+
+def _parse_wire_dtype(text: str) -> str:
+    """Validate a wire-format name (registered or a quantiser family)."""
+    try:
+        get_wire_format(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -90,9 +99,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--wire-dtype",
         default="fp64",
-        choices=available_wire_formats(),
-        help="wire format of every simulated transfer: payload cast + "
-        "byte pricing (fp64 = lossless passthrough at 8 B/scalar)",
+        type=_parse_wire_dtype,
+        help="wire format of every simulated transfer: payload cast/"
+        "quantisation + byte pricing (fp64 = lossless passthrough at "
+        "8 B/scalar).  Registered formats plus the quantiser families: "
+        f"{', '.join(available_wire_formats())}, topk<frac> (e.g. "
+        "topk0.05), qsgd<bits>",
     )
 
 
@@ -124,7 +136,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"schemes   : {', '.join(SCHEMES)}")
     print("selection : gaussian_quartile, uniform, latest, worst")
     print("executors : serial, thread, process")
-    print(f"wire      : {', '.join(available_wire_formats())}")
+    print(
+        f"wire      : {', '.join(available_wire_formats())} "
+        "(+ topk<frac> / qsgd<bits> families)"
+    )
     return 0
 
 

@@ -15,7 +15,10 @@ Everything the three training schemes exchange goes through this package:
   paper's analytic formulas (2·K·M device volume etc.).
 * :mod:`~repro.comm.wire` — the cast-on-the-wire codec: what every
   payload becomes (fp64/fp32/fp16 cast, quantiser hook) and costs
-  (``bytes_per_scalar``) at every simulated transfer boundary.
+  (``payload_nbytes``) at every simulated transfer boundary.
+* :mod:`~repro.comm.quantise` — the lossy quantisers behind the hook:
+  stochastic-rounding int8 (``int8_sr``), bucketed QSGD
+  (``qsgd{2,4,8}``), DGC-style top-k sparsification (``topk<frac>``).
 """
 
 from repro.comm.wire import (
@@ -25,6 +28,11 @@ from repro.comm.wire import (
     available_wire_formats,
     get_wire_format,
     register_wire_format,
+)
+from repro.comm.quantise import (
+    Int8SRWireFormat,
+    QSGDWireFormat,
+    TopKWireFormat,
 )
 from repro.comm.params import (
     FlatParamCodec,
@@ -51,6 +59,9 @@ __all__ = [
     "available_wire_formats",
     "get_wire_format",
     "register_wire_format",
+    "Int8SRWireFormat",
+    "QSGDWireFormat",
+    "TopKWireFormat",
     "FlatParamCodec",
     "ParamArena",
     "get_flat_params",

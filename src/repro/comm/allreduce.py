@@ -8,16 +8,18 @@ prices exactly this schedule.
 
 Every segment a node sends crosses the wire through a
 :class:`~repro.comm.wire.WireFormat`: the receiving buffer only ever sees
-``wire.transmit(segment)`` — what survived the cast — and all byte
-accounting uses ``wire.bytes_per_scalar``.  The default fp64 wire is an
-identity passthrough (bitwise identical to the pre-wire schedule) priced
-at 8 B/scalar.
+``wire.transmit(segment)`` — what survived the cast — and the byte
+accounting prices the *actual* segments sent via
+``wire.payload_nbytes``, so variable-size payloads (top-k (index, value)
+pairs, per-chunk quantiser scales) are counted honestly.  The default
+fp64 wire is an identity passthrough (bitwise identical to the pre-wire
+schedule) priced at 8 B/scalar.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,12 +31,15 @@ class AllReduceStats:
     """Byte/step accounting for one ring all-reduce invocation.
 
     ``bytes_sent_by_node`` holds the exact per-node totals over the
-    2(K−1)-step schedule; they differ when the vector does not divide
-    evenly into K segments.  ``bytes_sent_per_node`` is the busiest
-    node's total (equal for every node when ``n % k == 0``), the figure
-    link-capacity planning cares about.  ``max_cast_error`` is the
-    largest absolute difference between any sent segment and what its
-    receiver saw (0.0 on a lossless wire).
+    2(K−1)-step schedule, priced per actual sent segment through the
+    wire's payload-aware ``payload_nbytes`` (width × scalars for plain
+    casts; survivor pairs plus headers for top-k); they differ when the
+    vector does not divide evenly into K segments.
+    ``bytes_sent_per_node`` is the busiest node's total (equal for every
+    node when ``n % k == 0``), the figure link-capacity planning cares
+    about.  ``max_cast_error`` is the largest absolute difference
+    between any sent segment and what its receiver saw (0.0 on a
+    lossless wire).
     """
 
     num_nodes: int
@@ -72,8 +77,23 @@ def _ingest_buffers(vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
     return buffers
 
 
-def _run_schedule(buffers: List[np.ndarray], wire: WireFormat) -> float:
-    """Run the two-phase ring schedule in place; return the max cast error.
+def _run_schedule(
+    buffers: List[np.ndarray],
+    wire: WireFormat,
+    reference: Optional[np.ndarray] = None,
+) -> Tuple[float, List[int]]:
+    """Run the two-phase ring schedule in place.
+
+    Returns ``(max_cast_error, bytes_sent_by_node)`` where the byte
+    figures price every segment a node actually sent through
+    ``wire.payload_nbytes`` — the payload-aware source of truth, exact
+    for variable-size formats (top-k) as well as plain casts.
+
+    ``reference`` enables delta shipping for ``wire.prefer_delta``
+    formats (top-k): a partial sum of ``m`` contributions drifts around
+    ``m × reference`` (linearity), so the sender ships the sparse top-k
+    of ``payload - m·ref_segment`` and the receiver reconstructs —
+    every node already holds the reference, the last shared aggregate.
 
     Within one ring step, node i sends segment (i - step) while the
     segment written *into* node i is (i - 1 - step): distinct for k >= 2,
@@ -86,43 +106,67 @@ def _run_schedule(buffers: List[np.ndarray], wire: WireFormat) -> float:
     n = buffers[0].size
     segments = _segment_bounds(n, k)
     max_err = 0.0
+    sent_bytes = [0] * k
+    use_delta = reference is not None and wire.prefer_delta
+    if use_delta:
+        reference = np.asarray(reference, dtype=np.float64)
+        if reference.shape != buffers[0].shape:
+            raise ValueError(
+                f"reference shape {reference.shape} does not match "
+                f"vector shape {buffers[0].shape}"
+            )
+
+    def send(node: int, seg: slice, contributions: int) -> np.ndarray:
+        nonlocal max_err
+        payload = buffers[node][seg]
+        if use_delta:
+            base = reference[seg] * contributions
+            received, err = wire.transmit_with_error(payload - base)
+            received = base + received
+        else:
+            received, err = wire.transmit_with_error(payload)
+        if err > max_err:
+            max_err = err
+        sent_bytes[node] += wire.payload_nbytes(payload)
+        return received
 
     # Phase 1 — reduce-scatter: after k-1 steps, node i holds the full sum
     # of segment (i+1) mod k.  Receivers accumulate the *cast* payload, so
-    # partial sums degrade exactly as they would over a narrow wire.
+    # partial sums degrade exactly as they would over a narrow wire.  The
+    # segment sent at step s has accumulated s+1 contributions.
     for step in range(k - 1):
         for node in range(k):
             seg = segments[(node - step) % k]
-            received, err = wire.transmit_with_error(buffers[node][seg])
-            if err > max_err:
-                max_err = err
-            buffers[(node + 1) % k][seg] += received
+            buffers[(node + 1) % k][seg] += send(node, seg, step + 1)
 
     # Phase 2 — all-gather: circulate the completed segments (node i sends
     # (i + 1 - step) while (i - step) is written into it — again distinct).
+    # Completed segments carry all k contributions.
     for step in range(k - 1):
         for node in range(k):
             seg = segments[(node + 1 - step) % k]
-            received, err = wire.transmit_with_error(buffers[node][seg])
-            if err > max_err:
-                max_err = err
-            buffers[(node + 1) % k][seg] = received
+            buffers[(node + 1) % k][seg] = send(node, seg, k)
 
-    return max_err
+    return max_err, sent_bytes
 
 
 def ring_allreduce(
     vectors: Sequence[np.ndarray],
     average: bool = True,
     wire: WireSpec = None,
+    reference: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """All-reduce ``vectors`` (one per node) and return the shared result."""
-    result, _ = ring_allreduce_detailed(vectors, average=average, wire=wire)
+    result, _ = ring_allreduce_detailed(
+        vectors, average=average, wire=wire, reference=reference
+    )
     return result
 
 
 def ring_allreduce_buffers(
-    vectors: Sequence[np.ndarray], wire: WireSpec = None
+    vectors: Sequence[np.ndarray],
+    wire: WireSpec = None,
+    reference: Optional[np.ndarray] = None,
 ) -> List[np.ndarray]:
     """Run the two-phase ring schedule and return every node's final buffer.
 
@@ -134,7 +178,7 @@ def ring_allreduce_buffers(
     buffers = _ingest_buffers(vectors)
     if len(buffers) == 1:
         return buffers
-    _run_schedule(buffers, get_wire_format(wire))
+    _run_schedule(buffers, get_wire_format(wire), reference)
     return buffers
 
 
@@ -142,6 +186,7 @@ def ring_allreduce_detailed(
     vectors: Sequence[np.ndarray],
     average: bool = True,
     wire: WireSpec = None,
+    reference: Optional[np.ndarray] = None,
 ) -> tuple:
     """Ring all-reduce with explicit per-step simulation and accounting.
 
@@ -153,8 +198,14 @@ def ring_allreduce_detailed(
         Divide by node count at the end (True for model averaging).
     wire:
         Wire format (name or instance) applied to every sent segment;
-        its ``bytes_per_scalar`` is the wire width of the byte
-        accounting.  ``None``: the lossless fp64 default (8 B/scalar).
+        every sent segment is priced through its payload-aware
+        ``payload_nbytes`` (= ``bytes_per_scalar`` × scalars for plain
+        casts).  ``None``: the lossless fp64 default (8 B/scalar).
+    reference:
+        Optional vector every node already holds (the last shared
+        aggregate); ``prefer_delta`` formats (top-k) then ship sparse
+        deltas against it instead of raw segments.  Ignored by plain
+        cast formats.
 
     Returns
     -------
@@ -168,23 +219,15 @@ def ring_allreduce_detailed(
     n = buffers[0].size
     if k == 1:
         return buffers[0], AllReduceStats(1, n, 0, 0, 0, (0,))
-    max_cast_error = _run_schedule(buffers, wire)
+    max_cast_error, by_node = _run_schedule(buffers, wire, reference)
     result = buffers[0] / k if average else buffers[0]
 
-    # Every node sends one segment per step over 2(k-1) steps; segment
-    # sizes come from the actual split, so nodes that own the longer
-    # segments (the first ``n % k`` of them) send more.  Summed over one
-    # step the sent segments cover the vector exactly once, so the grand
-    # total is exactly 2(k-1) * n scalars — no ceil inflation.
-    seg_scalars = [s.stop - s.start for s in _segment_bounds(n, k)]
+    # Every node sends one segment per step over 2(k-1) steps; the
+    # schedule priced each sent segment as it went (payload-aware), so
+    # for fixed-width wires the grand total is exactly 2(k-1) * n
+    # scalars — no ceil inflation — while variable-size formats (top-k)
+    # charge what each segment's survivors actually cost.
     steps = 2 * (k - 1)
-    by_node = []
-    for node in range(k):
-        sent = 0
-        for step in range(k - 1):
-            sent += seg_scalars[(node - step) % k]  # reduce-scatter
-            sent += seg_scalars[(node + 1 - step) % k]  # all-gather
-        by_node.append(sent * wire.bytes_per_scalar)
     stats = AllReduceStats(
         num_nodes=k,
         vector_scalars=n,

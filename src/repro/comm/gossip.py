@@ -46,16 +46,22 @@ def gossip_average(
 
 
 def gossip_ring_exchange(
-    vectors: Sequence[np.ndarray], wire: WireSpec = None
+    vectors: Sequence[np.ndarray],
+    wire: WireSpec = None,
+    reference=None,
 ) -> tuple:
     """Scatter-gather averaging with explicit ring schedule + accounting.
 
     Every exchanged segment crosses the wire through ``wire`` (cast on
-    the wire; ``None`` = lossless fp64).  Returns ``(average, stats)``
-    where stats carries the byte counts the communication-volume report
-    uses plus the max cast error of the exchange.
+    the wire; ``None`` = lossless fp64); ``reference`` — a vector every
+    participant already holds, e.g. the last aggregate — lets
+    sparsifying formats ship deltas.  Returns ``(average, stats)`` where
+    stats carries the byte counts the communication-volume report uses
+    plus the max cast error of the exchange.
     """
-    return ring_allreduce_detailed(vectors, average=True, wire=wire)
+    return ring_allreduce_detailed(
+        vectors, average=True, wire=wire, reference=reference
+    )
 
 
 def neighborhood_average(

@@ -92,12 +92,16 @@ class FaultTolerantRingSync:
         alive: Callable[[int, float], bool],
         payload_nbytes: int,
         trace: Optional[TraceRecorder] = None,
+        reference: Optional[np.ndarray] = None,
     ) -> RingSyncResult:
         """Execute the sync starting at ``sim.now``.
 
         ``vectors`` maps device id → flat parameter vector; ``alive`` is
         queried as ``alive(device_id, time)``.  Devices dead at the start
         of the round are bypassed; the survivors' vectors are averaged.
+        ``reference`` (a vector every participant holds — the last
+        shared aggregate) enables delta shipping for sparsifying wire
+        formats.
         """
         ring = [int(d) for d in ring_order]
         if len(set(ring)) != len(ring):
@@ -204,7 +208,9 @@ class FaultTolerantRingSync:
         # The ring restarts once every survivor has a live upstream link.
         restart_time = max(repair_ready.values())
         survivor_vectors = [vectors[d] for d in survivors]
-        aggregated, stats = gossip_ring_exchange(survivor_vectors, wire=self.wire)
+        aggregated, stats = gossip_ring_exchange(
+            survivor_vectors, wire=self.wire, reference=reference
+        )
         gossip_time = self.network.ring_time_for(survivors, payload_nbytes)
         completion = restart_time + gossip_time
         if sim.now < completion:

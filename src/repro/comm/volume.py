@@ -56,6 +56,7 @@ class CommVolumeAccountant:
         self._records: list[VolumeRecord] = []
         self._by_kind: Dict[str, int] = defaultdict(int)
         self._by_device: Dict[int, int] = defaultdict(int)
+        self._received_by_device: Dict[int, int] = defaultdict(int)
 
     def record(
         self,
@@ -71,6 +72,8 @@ class CommVolumeAccountant:
         self._by_kind[kind] += int(nbytes)
         if src is not None:
             self._by_device[src] += int(nbytes)
+        if dst is not None:
+            self._received_by_device[dst] += int(nbytes)
 
     @property
     def total_bytes(self) -> int:
@@ -80,7 +83,20 @@ class CommVolumeAccountant:
         return dict(self._by_kind)
 
     def bytes_by_device(self) -> Dict[int, int]:
+        """Bytes *sent* per named source device."""
         return dict(self._by_device)
+
+    def bytes_received_by_device(self) -> Dict[int, int]:
+        """Bytes *received* per named destination device.
+
+        The receiver-side pressure figure: centralised FL funnels
+        ``K·M`` per round into the server (the hotspot Sec. III-D claims
+        to remove), while HADFL spreads deliveries across peers.  Every
+        record carrying a ``dst`` contributes, so for point-to-point
+        records (broadcasts, uploads) sent and received totals are
+        symmetric by construction.
+        """
+        return dict(self._received_by_device)
 
     def records(self) -> Tuple[VolumeRecord, ...]:
         return tuple(self._records)

@@ -12,23 +12,44 @@ truth for all byte pricing and segment granularity).
 
 Compressed collectives (DGC, QSGD-style quantisation — see PAPERS.md)
 treat wire precision as a first-class accuracy/communication trade-off;
-:func:`register_wire_format` is the hook for such future quantisers: any
-object implementing the :class:`WireFormat` interface can be registered
-and selected by name everywhere a dtype string is accepted.
+:func:`register_wire_format` is the hook for such quantisers: any object
+implementing the :class:`WireFormat` interface can be registered and
+selected by name everywhere a dtype string is accepted.  The production
+quantisers live in :mod:`repro.comm.quantise` (``int8_sr``,
+``qsgd{2,4,8}``, ``topk<frac>``); the registry resolves their name
+families lazily, so e.g. ``topk0.05`` works anywhere a dtype string is
+accepted without prior registration.
 
 Contract
 --------
 * ``transmit(x)`` — what the receiver sees — is ``decode(encode(x))`` in
   fp64.  For the lossless default (``fp64``) it is the *identity on the
   same object* (zero-copy), so default trajectories are bitwise identical
-  to a simulator with no wire layer at all.
-* ``bytes_per_scalar`` prices every transfer: model wire size
+  to a simulator with no wire layer at all.  ``encode`` may return any
+  payload object (quantisers ship structured (levels, scales) or
+  (indices, values) payloads); ``decode`` must reconstruct an fp64 array
+  of the original shape.
+* ``payload_nbytes(vec)`` prices one concrete transfer.  The default —
+  ``nbytes(vec.size)``, i.e. ``bytes_per_scalar`` × scalars for a plain
+  cast — is all a fixed-width format needs; quantisers override
+  ``nbytes`` (per-chunk scales, packed sub-byte levels, variable top-k
+  (index, value) pairs) and every pricing site routes through the
+  payload-aware figure: model wire size
   (``SimulatedCluster.model_nbytes``), ring all-reduce byte accounting
-  (:class:`~repro.comm.allreduce.AllReduceStats`) and the network model's
-  segment granularity all derive from it — an fp64 wire prices
-  8 B/scalar everywhere, fp32 4 B, fp16 2 B.
+  (:class:`~repro.comm.allreduce.AllReduceStats` prices the actual
+  segments it sends), and the network model's per-transfer byte figure.
+  ``bytes_per_scalar`` survives as the *segment granularity* of the
+  network time model (byte-granular, i.e. 1, for quantised formats).
 * ``cast_error(x)`` is the max-abs round-trip error, the per-round
   quantisation-error telemetry recorded in ``RoundRecord.detail``.
+  It is meaningful for value-preserving codecs (casts, int8/QSGD grids,
+  where it tracks the grid step); for sparsifying codecs like top-k it
+  reports the largest *dropped* magnitude instead — a sparsity figure,
+  not a precision one.
+* Stochastic quantisers derive their rounding RNG from the payload
+  content plus a fixed format seed (see :mod:`repro.comm.quantise`), so
+  ``transmit`` stays a pure function and fixed-seed trajectories remain
+  reproducible.
 """
 
 from __future__ import annotations
@@ -50,6 +71,14 @@ class WireFormat:
     name: str = "abstract"
     bytes_per_scalar: int = 8
     lossless: bool = False
+    #: Sparsifying formats (top-k) are meaningless on raw state — zeroing
+    #: most of a *model* destroys it — but excellent on *updates*.  A
+    #: format that sets ``prefer_delta`` asks every boundary where sender
+    #: and receiver share a reference vector (the last aggregate both
+    #: ends hold) to ship ``vec - reference`` instead of ``vec``; the
+    #: receiver reconstructs ``reference + decode(...)``.  Boundaries
+    #: with no shared reference fall back to the plain transmit.
+    prefer_delta: bool = False
 
     # ------------------------------------------------------------------ #
     def encode(self, vec: np.ndarray) -> np.ndarray:
@@ -80,11 +109,48 @@ class WireFormat:
         """Max-abs round-trip error of sending ``vec`` over this wire."""
         return self.transmit_with_error(vec)[1]
 
+    def transmit_delta_with_error(
+        self, vec: np.ndarray, reference: Optional[np.ndarray]
+    ) -> tuple:
+        """``(received, max_abs_error)`` with optional delta shipping.
+
+        The reference-aware boundary entry point: when this format
+        prefers delta coding (see :attr:`prefer_delta`) and the caller
+        can name a ``reference`` both endpoints hold, the wire carries
+        ``vec - reference`` and the receiver reconstructs
+        ``reference + decode(...)`` — the DGC pattern that makes
+        sparsification viable on model-state payloads.  The error equals
+        the reconstruction error (the reference cancels).  Everything
+        else degrades to :meth:`transmit_with_error`.
+        """
+        if reference is None or not self.prefer_delta:
+            return self.transmit_with_error(vec)
+        delta, err = self.transmit_with_error(np.asarray(vec) - reference)
+        return reference + delta, err
+
     def nbytes(self, num_scalars: int) -> int:
-        """Wire size of ``num_scalars`` scalars (the paper's M for a model)."""
+        """Wire size of ``num_scalars`` scalars (the paper's M for a model).
+
+        Fixed-width formats price ``bytes_per_scalar`` per scalar;
+        quantisers override this with their own size law (scale/norm
+        overheads, packed sub-byte levels, top-k survivor counts).
+        """
         if num_scalars < 0:
             raise ValueError(f"num_scalars must be non-negative, got {num_scalars}")
         return int(num_scalars) * self.bytes_per_scalar
+
+    def payload_nbytes(self, vec: np.ndarray) -> int:
+        """Wire size of this concrete payload.
+
+        The payload-aware pricing entry point: every site that charges
+        bytes for an actual transfer (model dispatch, ring segments,
+        broadcasts) routes through it.  The default delegates to
+        :meth:`nbytes` on the element count, which is exact for every
+        format whose size is a pure function of the count — including
+        the quantisers in :mod:`repro.comm.quantise`; a content-dependent
+        codec would override this instead.
+        """
+        return self.nbytes(int(np.asarray(vec).size))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r}, {self.bytes_per_scalar} B/scalar)"
@@ -166,16 +232,28 @@ def get_wire_format(spec: WireSpec = None) -> WireFormat:
         return DEFAULT_WIRE
     if isinstance(spec, WireFormat):
         return spec
-    try:
-        return _REGISTRY[spec]
-    except KeyError:
+    fmt = _REGISTRY.get(spec)
+    if fmt is None and isinstance(spec, str):
+        # The quantiser families (topk<frac>, qsgd<bits>, int8_sr) are
+        # resolved lazily: importing the module registers the presets,
+        # and resolve() constructs family members on demand.  Imported
+        # here (not at module top) to avoid a circular import.
+        from repro.comm import quantise
+
+        fmt = quantise.resolve(spec)
+    if fmt is None:
         raise ValueError(
-            f"unknown wire format {spec!r}; available: {available_wire_formats()}"
-        ) from None
+            f"unknown wire format {spec!r}; available: {available_wire_formats()} "
+            "plus the topk<frac> / qsgd<bits> families"
+        )
+    return fmt
 
 
 def available_wire_formats() -> list:
-    """Registered format names, built-ins first."""
+    """Registered format names, built-ins first (quantiser presets
+    included — family members like ``topk0.25`` resolve on demand)."""
+    from repro.comm import quantise  # noqa: F401  (registers the presets)
+
     builtins = ["fp64", "fp32", "fp16"]
     extras = sorted(name for name in _REGISTRY if name not in builtins)
     return builtins + extras

@@ -79,10 +79,11 @@ class GroupedHADFLTrainer:
             self.wire = cluster.wire
         else:
             self.wire = get_wire_format(self.params.wire_dtype)
-        self.model_nbytes = self.wire.nbytes(cluster.codec.num_scalars)
+        self.model_nbytes = self.wire.payload_nbytes(cluster.initial_params)
         self.network = align_network_granularity(cluster.network, self.wire)
         if self.wire is not cluster.wire:
-            payload = self.wire.transmit(np.asarray(cluster.initial_params))
+            initial = np.asarray(cluster.initial_params)
+            payload, _ = self.wire.transmit_delta_with_error(initial, initial)
             for device in cluster.devices:
                 device.set_params(payload)
         self.sync = FaultTolerantRingSync(
@@ -97,6 +98,16 @@ class GroupedHADFLTrainer:
         self._group_params: List[np.ndarray] = [
             np.array(cluster.initial_params, copy=True) for _ in self.groups
         ]
+        # Delta-shipping references for sparsifying wire formats: the
+        # last aggregate each group's devices saw, plus the last
+        # inter-group merge every group shares.  As in HADFLTrainer,
+        # receivers are modelled as caching the received reconstruction
+        # in a dedicated buffer before mixing; devices dead at delivery
+        # keep a stale reference (re-sync on revival not modelled).
+        self._group_reference: List[np.ndarray] = [
+            np.array(cluster.initial_params, copy=True) for _ in self.groups
+        ]
+        self._inter_reference = np.array(cluster.initial_params, copy=True)
 
     # ------------------------------------------------------------------ #
     def _resolve_groups(self, groups) -> List[List[int]]:
@@ -211,6 +222,7 @@ class GroupedHADFLTrainer:
                 lambda d, t: cluster.failures.is_alive(d, t),
                 self.model_nbytes,
                 trace=self.trace,
+                reference=self._group_reference[index],
             )
             completions.append(sync_result.completion_time)
             bypasses += len(sync_result.bypasses)
@@ -223,7 +235,10 @@ class GroupedHADFLTrainer:
                     cluster.device_by_id(device_id).set_params(
                         sync_result.aggregated
                     )
-                broadcast_payload = self.wire.transmit(sync_result.aggregated)
+                broadcast_payload, _ = self.wire.transmit_delta_with_error(
+                    sync_result.aggregated, self._group_reference[index]
+                )
+                self._group_reference[index] = broadcast_payload
                 for device_id in available:
                     if device_id in selected:
                         continue
@@ -242,7 +257,11 @@ class GroupedHADFLTrainer:
 
         # Inter-group synchronisation at the coarser period (Fig. 2b).
         if (round_index + 1) % self.inter_group_period == 0 and len(self.groups) > 1:
-            merged, stats = gossip_ring_exchange(self._group_params, wire=self.wire)
+            merged, stats = gossip_ring_exchange(
+                self._group_params,
+                wire=self.wire,
+                reference=self._inter_reference,
+            )
             inter_time = self.network.gossip_ring_time(
                 self.model_nbytes, len(self.groups)
             )
@@ -250,7 +269,12 @@ class GroupedHADFLTrainer:
             round_bytes += stats.total_bytes
             wire_cast_error = max(wire_cast_error, stats.max_cast_error)
             self.volume.record(self.sim.now, stats.total_bytes, "inter_group_sync")
-            merged_payload = self.wire.transmit(merged)
+            merged_payload, _ = self.wire.transmit_delta_with_error(
+                merged, self._inter_reference
+            )
+            self._inter_reference = merged_payload
+            for index in range(len(self.groups)):
+                self._group_reference[index] = merged_payload
             for index, group in enumerate(self.groups):
                 self._group_params[index] = np.array(merged, copy=True)
                 for device_id in group:

@@ -24,6 +24,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+#: Floor for the near-deterministic policies' 1e-6 mass cascade: small
+#: enough never to perturb a healthy draw, large enough (a *normal*
+#: float) that probabilities stay exactly representable after
+#: normalisation instead of underflowing to 0.0.
+_MASS_FLOOR = 1e-300
+
 
 def gaussian_quartile_probabilities(
     versions: Dict[int, float], sigma: float = 1.0
@@ -43,6 +49,21 @@ def gaussian_quartile_probabilities(
     z = (values - mu) / (sigma * spread)
     density = np.exp(-0.5 * z**2) / np.sqrt(2 * np.pi)
     total = density.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        # A tiny sigma — or one far outlier inflating the spread — can
+        # push every |z| past ~39, where exp(-z²/2) underflows to 0.0
+        # and the normalisation would return NaN probabilities (crashing
+        # rng.choice downstream).  Fall back to a heavy-tailed kernel in
+        # the same standardised coordinate: it shares the Gaussian's
+        # argmax (nearest-to-Q3 keeps the most mass, the Eq. 8 design
+        # intent) but cannot underflow for finite z.
+        density = 1.0 / (1.0 + z * z)
+        total = density.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        # Pathological z (e.g. a denormal spread overflowing z to inf):
+        # no usable ordering information left — uniform, like the
+        # spread == 0 branch.
+        return {i: 1.0 / len(ids) for i in ids}
     return {i: float(p / total) for i, p in zip(ids, density)}
 
 
@@ -64,9 +85,37 @@ class SelectionPolicy:
         ids = sorted(versions)
         count = min(num_selected, len(ids))
         probs = self.probabilities(versions)
-        weights = np.array([probs[i] for i in ids])
-        weights = weights / weights.sum()
-        chosen = rng.choice(len(ids), size=count, replace=False, p=weights)
+        weights = np.array([probs[i] for i in ids], dtype=float)
+        total = weights.sum()
+        if not np.isfinite(total) or total <= 0.0:
+            # Degenerate mass (all-zero or non-finite): uniform draw.
+            weights = np.ones(len(ids))
+            total = float(len(ids))
+        weights = weights / total
+        # Without-replacement draws cannot resolve probabilities far
+        # below the float resolution of the cumulative sum: entries at
+        # exact 0.0 make ``rng.choice`` raise ("fewer non-zero entries
+        # in p than size") once the near-deterministic policies' 1e-6
+        # mass cascade underflows past ~50 devices, and entries merely
+        # *near* zero send its rejection loop spinning for ~1/p draws.
+        # Split at a viability threshold instead: when enough viable
+        # mass exists the draw is untouched (bitwise-identical
+        # trajectories for every healthy configuration); otherwise all
+        # viable entries are selected and the remaining slots fill from
+        # the sub-resolution tail by descending weight (ties toward the
+        # lower id — the cascade's documented ordering intent).  The
+        # comparison is inclusive with a 1-ulp-scale slack so a weight
+        # sitting exactly on the 1e-6 cascade ratio counts as viable
+        # regardless of normalisation rounding.
+        viable = weights >= weights.max() * 1e-6 * (1.0 - 1e-9)
+        num_viable = int(np.count_nonzero(viable))
+        if num_viable >= count:
+            chosen = rng.choice(len(ids), size=count, replace=False, p=weights)
+        else:
+            tail = sorted(
+                np.flatnonzero(~viable), key=lambda c: (-weights[c], c)
+            )
+            chosen = list(np.flatnonzero(viable)) + tail[: count - num_viable]
         return sorted(int(ids[c]) for c in chosen)
 
 
@@ -104,14 +153,18 @@ class LatestOnlySelection(SelectionPolicy):
         if not versions:
             raise ValueError("no versions supplied")
         # Near-deterministic: all mass on the maximum, tiny elsewhere so
-        # `select` can still fill N_p slots when ties are absent.
+        # `select` can still fill N_p slots when ties are absent.  The
+        # cascade is floored: 1e-6 ** rank underflows to exact 0.0 past
+        # ~50 devices, and zero-probability entries crash
+        # ``rng.choice(..., replace=False, p=...)`` when N_p exceeds the
+        # nonzero count.
         ids = sorted(versions)
         order = sorted(ids, key=lambda i: -versions[i])
         mass = {i: 0.0 for i in ids}
         weight = 1.0
         for i in order:
             mass[i] = weight
-            weight *= 1e-6
+            weight = max(weight * 1e-6, _MASS_FLOOR)
         total = sum(mass.values())
         return {i: m / total for i, m in mass.items()}
 
@@ -138,7 +191,9 @@ class ForcedWorstSelection(SelectionPolicy):
         weight = 1.0
         for i in order:
             mass[i] = weight
-            weight *= 1e-6
+            # Same underflow floor as LatestOnlySelection: exact-zero
+            # mass past ~50 devices would crash the base `select` draw.
+            weight = max(weight * 1e-6, _MASS_FLOOR)
         total = sum(mass.values())
         return {i: m / total for i, m in mass.items()}
 

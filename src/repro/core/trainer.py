@@ -80,7 +80,7 @@ class HADFLTrainer:
             self.wire = cluster.wire
         else:
             self.wire = get_wire_format(self.params.wire_dtype)
-        self.model_nbytes = self.wire.nbytes(cluster.codec.num_scalars)
+        self.model_nbytes = self.wire.payload_nbytes(cluster.initial_params)
         self.network = align_network_granularity(cluster.network, self.wire)
         self.sync = FaultTolerantRingSync(
             self.network,
@@ -101,6 +101,17 @@ class HADFLTrainer:
             )
             self._owns_executor = True
         self._global_params = np.array(cluster.initial_params, copy=True)
+        # The delta-shipping reference for sparsifying wire formats: the
+        # last aggregate every device saw (initially the shared initial
+        # model).  Devices are modelled as caching it in a dedicated
+        # buffer: survivors hold the exact ring aggregate and can
+        # reproduce the deterministic broadcast encoding; unselected
+        # receivers store the received reconstruction *before* mixing
+        # it into their parameters (one model-sized buffer, no extra
+        # communication).  Idealisation: a device dead at broadcast
+        # time keeps a stale reference; a real deployment would need a
+        # dense re-sync for it on revival, which is not modelled.
+        self._wire_reference = np.array(cluster.initial_params, copy=True)
 
     def close(self) -> None:
         """Release a params-override executor's workers (cluster-owned
@@ -174,9 +185,12 @@ class HADFLTrainer:
         # as sequential full-model sends.  The cluster already delivered
         # the cast initial model under its own wire; re-send only when
         # this trainer's wire differs, so devices start from what *this*
-        # wire lets through.
+        # wire lets through.  Every replica was constructed with the
+        # identical initial model, so it doubles as the delta reference
+        # (sparsifying formats ship an empty delta — exact delivery).
         if self.wire is not cluster.wire:
-            payload = self.wire.transmit(np.asarray(cluster.initial_params))
+            initial = np.asarray(cluster.initial_params)
+            payload, _ = self.wire.transmit_delta_with_error(initial, initial)
             for device in cluster.devices:
                 device.set_params(payload)
         dispatch = self.network.sequential_sends_time(
@@ -302,6 +316,7 @@ class HADFLTrainer:
             lambda d, t: cluster.failures.is_alive(d, t),
             self.model_nbytes,
             trace=self.trace,
+            reference=self._wire_reference,
         )
         self.volume.record(
             self.sim.now, sync_result.bytes_sent, "partial_sync"
@@ -325,8 +340,8 @@ class HADFLTrainer:
                 if not cluster.failures.is_alive(receiver, self.sim.now):
                     continue
                 if broadcast_payload is None:
-                    broadcast_payload, err = self.wire.transmit_with_error(
-                        sync_result.aggregated
+                    broadcast_payload, err = self.wire.transmit_delta_with_error(
+                        sync_result.aggregated, self._wire_reference
                     )
                     wire_cast_error = max(wire_cast_error, err)
                 cluster.device_by_id(receiver).mix_params(
@@ -340,6 +355,16 @@ class HADFLTrainer:
                     src=broadcaster,
                     dst=receiver,
                 )
+            # The round's shared reference for the next delta-shipped
+            # sync: the broadcast reconstruction when one was delivered
+            # (what unselected receivers decoded — survivors can
+            # reproduce it from the exact aggregate), else the aggregate
+            # itself.
+            self._wire_reference = (
+                broadcast_payload
+                if broadcast_payload is not None
+                else sync_result.aggregated
+            )
 
         # Step 7: runtime supervisor records the actual versions.
         versions = {

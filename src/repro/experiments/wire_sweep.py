@@ -3,9 +3,12 @@
 The wire format is a first-class accuracy/communication trade-off (DGC,
 QSGD-style quantisation — see PAPERS.md): a narrower wire halves or
 quarters every transferred byte while injecting cast error into every
-sync.  This experiment runs the same fixed-seed configuration once per
-wire format and tabulates what the trade bought: total simulated bytes,
-virtual time, final/best accuracy, and the worst per-round cast error.
+sync, and the quantised formats (``int8_sr``, ``qsgd{2,4,8}``,
+``topk<frac>`` — see :mod:`repro.comm.quantise`) push the bytes-per-round
+frontier a further 2–100× at graded accuracy cost.  This experiment runs
+the same fixed-seed configuration once per wire format and tabulates
+what the trade bought: total and per-round simulated bytes, virtual
+time, final/best accuracy, and the worst per-round cast error.
 """
 
 from __future__ import annotations
@@ -31,6 +34,10 @@ class WireSweepCell:
     final_accuracy: float
     max_cast_error: float
     """Largest per-round wire cast error over the run (0.0 lossless)."""
+    comm_bytes_per_round: float = 0.0
+    """Mean collective bytes per round — the figure the quantised-format
+    acceptance criteria compare across wires (identical seeds run the
+    same number of rounds, so per-round and total ratios agree)."""
 
 
 def _max_cast_error(result: RunResult) -> float:
@@ -65,6 +72,11 @@ def run_wire_sweep(
                 best_accuracy=result.best_accuracy(),
                 final_accuracy=result.final_accuracy(),
                 max_cast_error=_max_cast_error(result),
+                comm_bytes_per_round=(
+                    result.total_comm_bytes / len(result.rounds)
+                    if result.rounds
+                    else 0.0
+                ),
             )
         )
     return cells

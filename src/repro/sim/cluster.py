@@ -124,8 +124,20 @@ class SimulatedCluster:
         self._eval_arena = ParamArena(self._eval_model, bind_grads=False)
         self.codec = FlatParamCodec(self._eval_model)
         self.initial_params = self.codec.flatten(self._eval_model)
-        self.model_nbytes = self.wire.nbytes(self.codec.num_scalars)
+        # Payload-aware model wire size: width × scalars for plain
+        # casts, the quantiser's own size law (chunk scales, top-k
+        # survivor pairs) otherwise.
+        self.model_nbytes = self.wire.payload_nbytes(self.initial_params)
         self._loss_fn = CrossEntropyLoss()
+
+        # The initial model dispatch crosses the wire too: a device
+        # starts from what survived the cast (identity on fp64).  Every
+        # replica is constructed with the identical initial model, so
+        # the initial vector doubles as the delta reference and
+        # sparsifying formats deliver it exactly (empty delta).
+        self._initial_payload, _ = self.wire.transmit_delta_with_error(
+            self.initial_params, self.initial_params
+        )
 
         shards = self._make_shards(partition, dirichlet_alpha)
         self.devices: List[Device] = []
@@ -144,9 +156,7 @@ class SimulatedCluster:
                 lr_schedule=lr_schedule,
                 seed=int(device_rng.integers(0, 2**31 - 1)),
             )
-            # The initial model dispatch crosses the wire too: a device
-            # starts from what survived the cast (identity on fp64).
-            device.set_params(self.wire.transmit(self.initial_params))
+            device.set_params(self._initial_payload)
             self.devices.append(device)
 
     # ------------------------------------------------------------------ #
@@ -248,7 +258,7 @@ class SimulatedCluster:
     def reset(self) -> None:
         """Restore every device to the initial model and zero the clocks."""
         for device in self.devices:
-            device.set_params(self.wire.transmit(self.initial_params))
+            device.set_params(self._initial_payload)
             device.version = 0
             device.busy_until = 0.0
             if hasattr(device.optimizer, "reset_state"):

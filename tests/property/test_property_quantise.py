@@ -1,0 +1,139 @@
+"""Hypothesis properties of the quantised wire formats.
+
+The round-trip contract every codec must satisfy on arbitrary payloads:
+
+* decode(encode(x)) returns fp64 with the input's shape;
+* the reconstruction error respects the format's bound — one per-chunk
+  scale step for ``int8_sr``, one per-bucket grid step for ``qsgd``,
+  and exact-on-survivors / bounded-by-the-k-th-magnitude for ``topk``;
+* ``transmit`` is deterministic under a fixed format seed (the
+  content-derived RNG has no hidden stream position);
+* the priced payload size follows the format's published law.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.comm.quantise import (
+    Int8SRWireFormat,
+    QSGDWireFormat,
+    TopKWireFormat,
+)
+
+finite = st.floats(
+    min_value=-1e6,
+    max_value=1e6,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+)
+
+payloads = arrays(
+    dtype=np.float64, shape=st.integers(min_value=1, max_value=400),
+    elements=finite,
+)
+
+
+class TestInt8SRProperties:
+    @given(payloads, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_shape_dtype_and_error_bound(self, vec, chunk):
+        fmt = Int8SRWireFormat(chunk_size=chunk)
+        received = fmt.transmit(vec)
+        assert received.dtype == np.float64
+        assert received.shape == vec.shape
+        for start in range(0, vec.size, chunk):
+            part = vec[start : start + chunk]
+            scale = np.abs(part).max() / fmt.LEVELS
+            err = np.abs(part - received[start : start + chunk]).max()
+            assert err <= scale * (1 + 1e-12) + 1e-300
+
+    @given(payloads, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_under_fixed_seed(self, vec, seed):
+        fmt = Int8SRWireFormat(seed=seed)
+        np.testing.assert_array_equal(fmt.transmit(vec), fmt.transmit(vec))
+
+    @given(payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_payload_size_law(self, vec):
+        fmt = Int8SRWireFormat(chunk_size=32)
+        chunks = -(-vec.size // 32)
+        assert fmt.payload_nbytes(vec) == vec.size + chunks * 8
+
+
+class TestQSGDProperties:
+    @given(
+        payloads,
+        st.sampled_from([2, 4, 8]),
+        st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_error_within_grid_step(self, vec, bits, bucket):
+        fmt = QSGDWireFormat(bits=bits, bucket_size=bucket)
+        received = fmt.transmit(vec)
+        assert received.dtype == np.float64
+        assert received.shape == vec.shape
+        for start in range(0, vec.size, bucket):
+            part = vec[start : start + bucket]
+            norm = np.float64(np.float32(np.abs(part).max()))
+            err = np.abs(part - received[start : start + bucket]).max()
+            # A bucket whose norm underflows fp32 decodes to zero; its
+            # error is then bounded by the smallest fp32 normal.
+            assert err <= norm / fmt.levels * (1 + 1e-6) + np.finfo(np.float32).tiny
+
+    @given(payloads, st.sampled_from([2, 4, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_under_fixed_seed(self, vec, bits):
+        fmt = QSGDWireFormat(bits=bits)
+        np.testing.assert_array_equal(fmt.transmit(vec), fmt.transmit(vec))
+
+
+class TestTopKProperties:
+    @given(
+        payloads,
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_survivors_exact_dropped_bounded(self, vec, fraction):
+        fmt = TopKWireFormat(fraction)
+        received = fmt.transmit(vec)
+        assert received.dtype == np.float64
+        assert received.shape == vec.shape
+        k = fmt.k_for(vec.size)
+        kept = np.flatnonzero(received)
+        assert len(kept) <= k  # fp32-cast survivors may themselves be 0
+        # Survivors round-trip through fp32 exactly.
+        payload = fmt.encode(vec)
+        np.testing.assert_array_equal(
+            received[payload.indices],
+            vec[payload.indices].astype(np.float32).astype(np.float64),
+        )
+        # Every dropped entry is bounded by the smallest kept magnitude.
+        dropped = np.setdiff1d(np.arange(vec.size), payload.indices)
+        if dropped.size and payload.indices.size:
+            assert (
+                np.abs(vec[dropped]).max()
+                <= np.abs(vec[payload.indices]).min() + 1e-300
+            )
+
+    @given(payloads, st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_and_size_law(self, vec, fraction):
+        fmt = TopKWireFormat(fraction)
+        np.testing.assert_array_equal(fmt.transmit(vec), fmt.transmit(vec))
+        assert fmt.payload_nbytes(vec) == 8 + fmt.k_for(vec.size) * 8
+
+    @given(payloads, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_delta_shipping_reconstructs_around_reference(self, vec, rnd):
+        """reference + decode(topk(vec - reference)) never drifts farther
+        from vec than the largest dropped delta component."""
+        fmt = TopKWireFormat(0.25)
+        rng = np.random.default_rng(rnd.randint(0, 2**31))
+        reference = vec + rng.normal(scale=0.1, size=vec.shape)
+        received, err = fmt.transmit_delta_with_error(vec, reference)
+        assert np.abs(received - vec).max() <= err + 1e-6 * (
+            1 + np.abs(vec).max()
+        )

@@ -79,9 +79,12 @@ class TestRoundRecordInvariant:
         assert len(result.rounds) >= 2
         _assert_record_accountant_agree(result, trainer)
 
-    @pytest.mark.parametrize("wire_dtype", ["fp32", "fp16"])
+    @pytest.mark.parametrize(
+        "wire_dtype", ["fp32", "fp16", "int8_sr", "qsgd4", "topk0.01"]
+    )
     def test_lossy_wire_record_matches_accountant(self, wire_dtype):
-        """The PR-2 invariant holds for every wire dtype."""
+        """The PR-2 invariant holds for every wire dtype — including the
+        quantised formats with variable-size (top-k) payloads."""
         result, trainer = _run(_config(wire_dtype=wire_dtype))
         assert len(result.rounds) >= 2
         _assert_record_accountant_agree(result, trainer)
@@ -132,6 +135,56 @@ class TestRoundRecordInvariant:
             if r.selected and r.comm_bytes == 0 and len(r.versions) > len(r.selected)
         ]
         assert empty_sync_rounds, "no round hit the aggregated-is-None path"
+
+
+class TestReceiverSideAccounting:
+    """``dst`` is aggregated symmetrically to ``src`` — the receiver-side
+    pressure figure HADFL's decentralisation claims to remove."""
+
+    def test_sent_received_symmetry_per_record(self):
+        from repro.comm.volume import CommVolumeAccountant
+
+        acct = CommVolumeAccountant()
+        acct.record(0.0, 100, "broadcast", src=1, dst=2)
+        acct.record(1.0, 50, "broadcast", src=1, dst=3)
+        acct.record(2.0, 25, "upload", src=2, dst=1)
+        sent = acct.bytes_by_device()
+        received = acct.bytes_received_by_device()
+        assert sent == {1: 150, 2: 25}
+        assert received == {2: 100, 3: 50, 1: 25}
+        # Every byte with a named src also names a dst here: totals match.
+        assert sum(sent.values()) == sum(received.values()) == 175
+
+    def test_trainer_broadcasts_are_received_symmetrically(self):
+        result, trainer = _run(_config())
+        records = [r for r in trainer.volume.records() if r.kind == "broadcast"]
+        assert records, "run produced no broadcasts"
+        received = trainer.volume.bytes_received_by_device()
+        # Broadcasts are the only dst-carrying records in a clean HADFL
+        # run: the receiver-side totals must account for exactly them.
+        assert sum(received.values()) == sum(r.nbytes for r in records)
+        by_dst = {}
+        for r in records:
+            by_dst[r.dst] = by_dst.get(r.dst, 0) + r.nbytes
+        assert received == by_dst
+        # And sender-side symmetry: everything received was sent by a
+        # named broadcaster.
+        sent = trainer.volume.bytes_by_device()
+        assert sum(sent.values()) == sum(received.values())
+
+    def test_central_fedavg_server_is_the_receive_hotspot(self):
+        """Sec. II-B arithmetic: the server receives K·M per round —
+        the hotspot figure bytes_received_by_device makes reportable."""
+        from repro.baselines.central_fedavg import CentralizedFedAvgTrainer
+
+        config = _config()
+        cluster = config.make_cluster()
+        trainer = CentralizedFedAvgTrainer(cluster, seed=config.seed)
+        result = trainer.run(target_epochs=2.0)
+        received = trainer.volume.bytes_received_by_device()
+        rounds = len(result.rounds)
+        k, m = len(cluster.devices), cluster.model_nbytes
+        assert received[trainer.SERVER_ID] == rounds * k * m
 
 
 class TestRingAllReduceBytes:

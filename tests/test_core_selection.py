@@ -65,6 +65,43 @@ class TestGaussianQuartileProbabilities:
             gaussian_quartile_probabilities({0: 1.0}, sigma=0.0)
 
 
+class TestGaussianUnderflowRegression:
+    """Regression: a tiny sigma or one far outlier used to underflow
+    every density to 0.0, returning NaN probabilities that crash
+    ``rng.choice`` downstream."""
+
+    OUTLIER = {0: 0.0, 1: 1.0, 2: 2.0, 3: 1e8}
+
+    def test_far_outlier_small_sigma_no_nan(self):
+        probs = gaussian_quartile_probabilities(self.OUTLIER, sigma=1e-4)
+        values = np.array(list(probs.values()))
+        assert np.all(np.isfinite(values))
+        assert values.sum() == pytest.approx(1.0)
+        assert np.all(values > 0.0)
+
+    def test_fallback_keeps_nearest_to_q3_mass(self):
+        """The heavy-tailed fallback preserves the Eq. 8 argmax: the
+        device nearest Q3 keeps the most mass."""
+        probs = gaussian_quartile_probabilities(self.OUTLIER, sigma=1e-4)
+        versions = self.OUTLIER
+        mu = np.percentile(sorted(versions.values()), 75)
+        nearest = min(versions, key=lambda i: abs(versions[i] - mu))
+        assert max(probs, key=probs.get) == nearest
+
+    def test_underflowed_kernel_still_selects(self):
+        policy = GaussianQuartileSelection(sigma=1e-4)
+        chosen = policy.select(self.OUTLIER, 2, np.random.default_rng(0))
+        assert len(chosen) == 2
+        assert len(set(chosen)) == 2
+
+    def test_tiny_sigma_many_devices(self):
+        versions = {i: float(i) * 1000.0 for i in range(64)}
+        probs = gaussian_quartile_probabilities(versions, sigma=1e-6)
+        values = np.array(list(probs.values()))
+        assert np.all(np.isfinite(values))
+        assert values.sum() == pytest.approx(1.0)
+
+
 class TestSelection:
     VERSIONS = {0: 10.0, 1: 20.0, 2: 30.0, 3: 40.0}
 
@@ -118,6 +155,74 @@ class TestDeterministicPolicies:
         for policy in (LatestOnlySelection(), ForcedWorstSelection()):
             probs = policy.probabilities(self.VERSIONS)
             assert sum(probs.values()) == pytest.approx(1.0)
+
+
+class TestSelectUnderflowRegression:
+    """Regression: the 1e-6 mass cascades underflow to exact 0.0 past
+    ~50 devices, and ``rng.choice(..., replace=False, p=...)`` raised
+    "fewer non-zero entries in p than size" whenever ``num_selected``
+    exceeded the nonzero count."""
+
+    @pytest.mark.parametrize(
+        "policy_cls", [LatestOnlySelection, ForcedWorstSelection]
+    )
+    def test_cascade_mass_never_exact_zero(self, policy_cls):
+        versions = {i: float(i) for i in range(80)}
+        probs = policy_cls().probabilities(versions)
+        assert all(p > 0.0 for p in probs.values())
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "policy_cls", [LatestOnlySelection, ForcedWorstSelection]
+    )
+    def test_base_select_draws_past_the_underflow_tail(self, policy_cls):
+        """Drawing through the *base* ``SelectionPolicy.select`` (the
+        path a probabilities-only subclass uses) must fill every slot
+        even when most of the cascade sits below float resolution."""
+        from repro.core.selection import SelectionPolicy
+
+        versions = {i: float(i) for i in range(80)}
+        policy = policy_cls()
+        chosen = SelectionPolicy.select(
+            policy, versions, 60, np.random.default_rng(0)
+        )
+        assert len(chosen) == 60
+        assert len(set(chosen)) == 60
+        # The near-deterministic head of the cascade is always included.
+        head = policy.select(versions, 5, np.random.default_rng(0))
+        assert set(head) <= set(chosen)
+
+    def test_base_select_uniform_on_degenerate_mass(self):
+        """All-zero probabilities (a pathological custom policy) fall
+        back to a uniform draw instead of crashing."""
+        from repro.core.selection import SelectionPolicy
+
+        class ZeroMass(SelectionPolicy):
+            def probabilities(self, versions):
+                return {i: 0.0 for i in versions}
+
+        versions = {i: float(i) for i in range(10)}
+        chosen = ZeroMass().select(versions, 4, np.random.default_rng(0))
+        assert len(chosen) == 4
+        assert len(set(chosen)) == 4
+
+    def test_healthy_draws_unchanged(self):
+        """The underflow path must not perturb healthy configurations:
+        a 4-device gaussian draw matches the pre-fix rng.choice call
+        bitwise."""
+        versions = {0: 10.0, 1: 20.0, 2: 30.0, 3: 40.0}
+        policy = GaussianQuartileSelection()
+        probs = policy.probabilities(versions)
+        ids = sorted(versions)
+        weights = np.array([probs[i] for i in ids])
+        weights = weights / weights.sum()
+        expected = sorted(
+            int(ids[c])
+            for c in np.random.default_rng(7).choice(
+                len(ids), size=2, replace=False, p=weights
+            )
+        )
+        assert policy.select(versions, 2, np.random.default_rng(7)) == expected
 
 
 class TestFactory:

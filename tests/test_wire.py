@@ -87,6 +87,19 @@ class TestWireFormats:
         with pytest.raises(ValueError):
             WIRE_FP64.nbytes(-1)
 
+    def test_payload_nbytes_default_is_width_times_scalars(self):
+        """The payload-aware pricing hook: for fixed-width casts it
+        degrades to the classic bytes_per_scalar × scalars law."""
+        vec = RNG.normal(size=13)
+        assert WIRE_FP64.payload_nbytes(vec) == 13 * 8
+        assert WIRE_FP32.payload_nbytes(vec) == 13 * 4
+        assert WIRE_FP16.payload_nbytes(vec) == 13 * 2
+        assert WIRE_FP64.payload_nbytes(np.zeros((3, 4))) == 12 * 8
+
+    def test_cast_formats_do_not_prefer_delta(self):
+        for fmt in (WIRE_FP64, WIRE_FP32, WIRE_FP16):
+            assert not fmt.prefer_delta
+
     def test_registry(self):
         assert get_wire_format() is DEFAULT_WIRE
         assert get_wire_format(None) is WIRE_FP64
