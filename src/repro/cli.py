@@ -106,6 +106,52 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         f"{', '.join(available_wire_formats())}, topk<frac> (e.g. "
         "topk0.05), qsgd<bits>",
     )
+    chaos = parser.add_argument_group(
+        "chaos", "fault injection (all off by default; fixed-seed "
+        "deterministic via --chaos-seed)"
+    )
+    chaos.add_argument(
+        "--failure-rate", type=float, default=0.0,
+        help="device crashes per virtual second (Poisson)",
+    )
+    chaos.add_argument(
+        "--mean-downtime", type=float, default=5.0,
+        help="mean crash duration in virtual seconds (exponential)",
+    )
+    chaos.add_argument(
+        "--slowdown-rate", type=float, default=0.0,
+        help="straggler windows per device per virtual second",
+    )
+    chaos.add_argument(
+        "--slowdown-factor", type=float, default=4.0,
+        help="compute slowdown inside a straggler window",
+    )
+    chaos.add_argument(
+        "--link-drop", type=float, default=0.0,
+        help="per-message drop probability on every link",
+    )
+    chaos.add_argument(
+        "--link-jitter", type=float, default=0.0,
+        help="lognormal sigma of per-message latency jitter",
+    )
+    chaos.add_argument(
+        "--retry-attempts", type=int, default=4,
+        help="max transmissions per message (1 = no retries)",
+    )
+    chaos.add_argument(
+        "--sync-failure-policy", default="continue",
+        choices=("continue", "skip_round", "fallback_dense"),
+        help="trainer behaviour when a round's sync has no survivors",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the fault schedule and link RNG streams",
+    )
+    chaos.add_argument(
+        "--verify-accounting", action="store_true",
+        help="assert sum(comm_bytes) + initial_dispatch == total bytes "
+        "after the run (exits non-zero on violation)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -125,6 +171,41 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         executor=args.executor,
         executor_workers=args.workers,
         wire_dtype=args.wire_dtype,
+        failure_rate=args.failure_rate,
+        mean_downtime=args.mean_downtime,
+        slowdown_rate=args.slowdown_rate,
+        slowdown_factor=args.slowdown_factor,
+        link_drop_prob=args.link_drop,
+        link_jitter=args.link_jitter,
+        retry_attempts=args.retry_attempts,
+        sync_failure_policy=args.sync_failure_policy,
+        chaos_seed=args.chaos_seed,
+    )
+
+
+def _check_accounting(result) -> str:
+    """Re-derive the conservation invariant from a finished run.
+
+    ``sum(per-round comm_bytes) + initial dispatch == accountant total``
+    — every byte the accountant saw is attributed to exactly one round
+    (or to the pre-training dispatch), including retries, handshakes,
+    re-syncs and fallback dispatches.  Raises ``SystemExit`` on
+    violation so CI smoke runs fail loudly.
+    """
+    accounting = result.config.get("accounting")
+    if accounting is None:
+        raise SystemExit("no accounting snapshot in result (non-HADFL scheme?)")
+    total = accounting["total_bytes"]
+    initial = accounting["bytes_by_kind"].get("initial_dispatch", 0)
+    per_round = sum(record.comm_bytes for record in result.rounds)
+    if per_round + initial != total:
+        raise SystemExit(
+            f"accounting invariant violated: rounds={per_round:,} + "
+            f"initial={initial:,} != total={total:,}"
+        )
+    return (
+        f"accounting ok: {per_round:,} round bytes + {initial:,} dispatch "
+        f"== {total:,} total"
     )
 
 
@@ -148,6 +229,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"scheme={args.scheme} | {config.describe()}")
     result = run_scheme(args.scheme, config)
     print(result.summary())
+    robustness = result.robustness_summary()
+    if any(robustness.values()):
+        print(
+            "robustness : "
+            + ", ".join(f"{key}={value}" for key, value in robustness.items())
+        )
+    if args.verify_accounting:
+        print(_check_accounting(result))
     if args.out:
         path = io.save_result(result, f"{args.out}/{args.scheme}.json")
         print(f"saved: {path}")

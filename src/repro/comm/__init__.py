@@ -49,7 +49,11 @@ from repro.comm.topology import (
     directed_ring,
     random_regular_topology,
 )
-from repro.comm.ring_repair import FaultTolerantRingSync, RingSyncResult
+from repro.comm.ring_repair import (
+    CONTROL_MESSAGE_BYTES,
+    FaultTolerantRingSync,
+    RingSyncResult,
+)
 from repro.comm.volume import CommVolumeAccountant, fedavg_server_volume, device_volume
 
 __all__ = [
@@ -76,6 +80,7 @@ __all__ = [
     "random_regular_topology",
     "FaultTolerantRingSync",
     "RingSyncResult",
+    "CONTROL_MESSAGE_BYTES",
     "CommVolumeAccountant",
     "fedavg_server_volume",
     "device_volume",

@@ -101,6 +101,17 @@ class CommVolumeAccountant:
     def records(self) -> Tuple[VolumeRecord, ...]:
         return tuple(self._records)
 
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready totals: ``{"total_bytes", "bytes_by_kind"}``.
+
+        Trainers stash this in ``RunResult.config`` so the accounting
+        invariant can be re-checked from a saved result file alone (the
+        CLI's ``--verify-accounting`` and the CI chaos smoke do)."""
+        return {
+            "total_bytes": self.total_bytes,
+            "bytes_by_kind": self.bytes_by_kind(),
+        }
+
     def summary(self) -> str:
         lines = [f"total: {self.total_bytes:,} bytes"]
         for kind, nbytes in sorted(self._by_kind.items()):

@@ -152,6 +152,18 @@ class WireFormat:
         """
         return self.nbytes(int(np.asarray(vec).size))
 
+    def dense_nbytes(self, num_scalars: int) -> int:
+        """Wire size of a full-width (fp64) dense re-sync of the model.
+
+        Revival re-sync ships the raw reference vector, bypassing this
+        format's compression: a revived device's reference is stale, so
+        a delta against it is undecodable and a sparsified model is
+        garbage.  Priced at 8 B/scalar regardless of the format.
+        """
+        if num_scalars < 0:
+            raise ValueError(f"num_scalars must be non-negative, got {num_scalars}")
+        return int(num_scalars) * 8
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r}, {self.bytes_per_scalar} B/scalar)"
 

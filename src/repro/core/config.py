@@ -64,6 +64,26 @@ class HADFLParams:
         executor knob, a *lossy* wire deliberately changes the
         trajectory — that is the accuracy/communication trade-off it
         models.
+    sync_failure_policy:
+        What the trainer does when a round's partial synchronisation
+        produces no aggregate (every selected device died or became
+        unreachable mid-protocol):
+
+        * ``"continue"`` (default) — devices keep their local
+          parameters and the round is recorded with
+          ``detail["sync_failed"]``;
+        * ``"skip_round"`` — the round's local training is rolled back
+          (parameters, optimizer scalars and version counters restored
+          to the window start), as if the window never happened;
+        * ``"fallback_dense"`` — the coordinator re-dispatches the last
+          known-good model densely (full-width wire) to every alive
+          available device, trading bytes for consistency.
+    max_round_rollbacks:
+        Live-lock guard for ``"skip_round"``: after this many
+        *consecutive* rolled-back rounds the policy degrades to
+        ``"continue"`` (local progress is kept) until a sync succeeds
+        again — otherwise a permanently failing sync would freeze the
+        epoch counter and the run could never reach its target.
     """
 
     tsync: int = 1
@@ -81,6 +101,8 @@ class HADFLParams:
     executor: "str | None" = None
     executor_workers: "int | None" = None
     wire_dtype: "str | None" = None
+    sync_failure_policy: str = "continue"
+    max_round_rollbacks: int = 8
 
     def __post_init__(self):
         if self.tsync < 1:
@@ -122,3 +144,16 @@ class HADFLParams:
             from repro.comm.wire import get_wire_format
 
             get_wire_format(self.wire_dtype)  # raises on unknown names
+        if self.sync_failure_policy not in (
+            "continue",
+            "skip_round",
+            "fallback_dense",
+        ):
+            raise ValueError(
+                "sync_failure_policy must be one of continue/skip_round/"
+                f"fallback_dense, got {self.sync_failure_policy!r}"
+            )
+        if self.max_round_rollbacks < 1:
+            raise ValueError(
+                f"max_round_rollbacks must be >= 1, got {self.max_round_rollbacks}"
+            )

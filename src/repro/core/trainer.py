@@ -35,6 +35,7 @@ from repro.metrics.records import RoundRecord, RunResult
 from repro.parallel.tasks import LocalTrainTask
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.engine import Simulator
+from repro.sim.linkfaults import ReliableDelivery
 from repro.sim.network import align_network_granularity
 from repro.sim.executor import make_executor
 from repro.sim.trace import TraceRecorder
@@ -82,11 +83,20 @@ class HADFLTrainer:
             self.wire = get_wire_format(self.params.wire_dtype)
         self.model_nbytes = self.wire.payload_nbytes(cluster.initial_params)
         self.network = align_network_granularity(cluster.network, self.wire)
+        # Lossy-link model and retry policy come from the cluster (both
+        # None by default — perfectly reliable links, zero overhead).
+        link_faults = getattr(cluster, "link_faults", None)
+        retry_policy = getattr(cluster, "retry_policy", None)
         self.sync = FaultTolerantRingSync(
             self.network,
             wait_time=self.params.sync_wait_time,
             wire=self.wire,
+            link_faults=link_faults,
+            retry_policy=retry_policy,
         )
+        # Envelope for the trainer's own point-to-point transfers (the
+        # aggregate broadcast); inert without a fault model.
+        self.delivery = ReliableDelivery(self.network, link_faults, retry_policy)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.volume = CommVolumeAccountant()
         self.sim = Simulator()
@@ -108,10 +118,19 @@ class HADFLTrainer:
         # reproduce the deterministic broadcast encoding; unselected
         # receivers store the received reconstruction *before* mixing
         # it into their parameters (one model-sized buffer, no extra
-        # communication).  Idealisation: a device dead at broadcast
-        # time keeps a stale reference; a real deployment would need a
-        # dense re-sync for it on revival, which is not modelled.
+        # communication).  A device dead at broadcast time keeps a
+        # *stale* reference: on revival it requests a dense (full-width)
+        # re-sync of the current reference before re-entering any
+        # delta-shipped exchange — tracked per device via reference
+        # epochs and charged as ``"resync"`` traffic.
         self._wire_reference = np.array(cluster.initial_params, copy=True)
+        # Reference epochs: ``_ref_epoch[d] == _current_ref_epoch`` iff
+        # device d holds the current delta reference.  Everyone starts
+        # from the dispatched initial model (epoch 0).
+        self._current_ref_epoch = 0
+        self._ref_epoch: Dict[int, int] = {d: 0 for d in cluster.device_ids}
+        # Live-lock guard state for the skip_round degradation policy.
+        self._consecutive_rollbacks = 0
 
     def close(self) -> None:
         """Release a params-override executor's workers (cluster-owned
@@ -230,7 +249,38 @@ class HADFLTrainer:
             loss, acc = cluster.evaluate_params(self._global_params)
             result.rounds[-1].test_loss = loss
             result.rounds[-1].test_accuracy = acc
+        # Accounting snapshot: lets the invariant
+        # sum(round.comm_bytes) + initial_dispatch == total_bytes
+        # be re-verified from the saved result alone (CLI
+        # --verify-accounting, CI chaos smoke).
+        result.config["accounting"] = self.volume.snapshot()
         return result
+
+    # ------------------------------------------------------------------ #
+    def _needs_resync(self, device_id: int) -> bool:
+        """Whether a device's delta reference is stale.
+
+        Only meaningful for sparsifying (``prefer_delta``) wires — plain
+        casts decode without a shared reference, so a missed broadcast
+        costs nothing to recover from.
+        """
+        return (
+            self.wire.prefer_delta
+            and self._ref_epoch[device_id] != self._current_ref_epoch
+        )
+
+    def _resync_reference(self, device_id: int, src: Optional[int] = None) -> None:
+        """Revival re-sync: ship the current reference dense (full-width).
+
+        A revived device's cached reference predates the last aggregate,
+        so a delta against it is undecodable; before the device re-enters
+        any delta-shipped exchange the coordinator (or a surviving peer,
+        ``src``) re-sends the reference uncompressed.  Non-blocking like
+        the broadcast — charged in bytes, not on the critical path.
+        """
+        nbytes = self.wire.dense_nbytes(int(self._wire_reference.size))
+        self.volume.record(self.sim.now, nbytes, "resync", src=src, dst=device_id)
+        self._ref_epoch[device_id] = self._current_ref_epoch
 
     # ------------------------------------------------------------------ #
     def _run_round(
@@ -253,7 +303,13 @@ class HADFLTrainer:
                 sim_time=self.sim.now,
                 global_epoch=cluster.global_epoch(),
                 train_loss=float("nan"),
-                detail={"skipped": True},
+                detail={
+                    "skipped": True,
+                    "retries": 0,
+                    "dropped_messages": 0,
+                    "bypasses": 0,
+                    "resyncs": 0,
+                },
             )
 
         # Selection happens *before* versions for this round are known —
@@ -262,6 +318,24 @@ class HADFLTrainer:
         selected = self.coordinator.select_devices(available)
         topology = self.coordinator.make_topology(selected)
         ring_order = topology.ring_order() if len(selected) > 1 else list(selected)
+
+        # Under the skip-round degradation policy the window must be
+        # reversible: snapshot everything a burst mutates (parameters,
+        # optimizer vectors + scalars, RNG streams, batch cursor,
+        # version counter) so a failed sync can roll the round back.
+        window_snapshot = None
+        if self.params.sync_failure_policy == "skip_round":
+            window_snapshot = {}
+            for device_id in available:
+                device = cluster.device_by_id(device_id)
+                window_snapshot[device_id] = {
+                    "params": device.get_params(),
+                    "train_state": device.export_train_state(),
+                    "opt_vectors": [
+                        np.array(v, copy=True)
+                        for v in device.optimizer.flat_state()
+                    ],
+                }
 
         # Step 5: heterogeneity-aware asynchronous local training.  The
         # window deadline is the binding constraint (Alg. 1 line 6); the
@@ -305,6 +379,17 @@ class HADFLTrainer:
         # Zero-copy arena views: the ring collective copies on ingest, and
         # the views are consumed before any post-sync arena write.
         self.sim.advance_to(deadline)
+        resyncs = 0
+        # Revival re-sync, sender side: a selected device whose delta
+        # reference is stale (it was dead for a broadcast) gets a dense
+        # re-send of the current reference before the delta-shipped ring
+        # starts — without it the gossip segments are undecodable.
+        for device_id in selected:
+            if self._needs_resync(device_id) and cluster.failures.is_alive(
+                device_id, self.sim.now
+            ):
+                self._resync_reference(device_id)
+                resyncs += 1
         vectors = {
             device_id: cluster.device_by_id(device_id).get_params_view()
             for device_id in selected
@@ -322,15 +407,24 @@ class HADFLTrainer:
             self.sim.now, sync_result.bytes_sent, "partial_sync"
         )
         wire_cast_error = sync_result.max_cast_error
+        retries = sync_result.retries
+        dropped_messages = sync_result.dropped_messages
+        sync_failed = sync_result.aggregated is None
 
         if sync_result.aggregated is not None:
+            self._consecutive_rollbacks = 0
             self._global_params = sync_result.aggregated
+            next_ref_epoch = self._current_ref_epoch + 1
             for device_id in sync_result.survivors:
                 cluster.device_by_id(device_id).set_params(sync_result.aggregated)
+                self._ref_epoch[device_id] = next_ref_epoch
             # Non-blocking broadcast to unselected devices (they integrate
             # the aggregate with local parameters; the round's critical
             # path is not extended).  The aggregate crosses the wire once
-            # per receiver; the cast payload is computed once.
+            # per receiver; the cast payload is computed once.  Each
+            # delivery goes through the retry/backoff envelope: a
+            # receiver whose link gives up entirely keeps its stale
+            # reference and is re-synced on a later round.
             broadcaster = (
                 sync_result.survivors[0] if sync_result.survivors else None
             )
@@ -339,6 +433,26 @@ class HADFLTrainer:
             for receiver in unselected:
                 if not cluster.failures.is_alive(receiver, self.sim.now):
                     continue
+                # Revival re-sync, receiver side: a delta-shipped
+                # broadcast is undecodable against a stale reference, so
+                # the dense re-send happens before the mix.
+                if self._needs_resync(receiver):
+                    self._resync_reference(receiver, src=broadcaster)
+                    resyncs += 1
+                outcome = self.delivery.send(
+                    broadcaster, receiver, self.model_nbytes, self.sim.now
+                )
+                retries += outcome.retries
+                dropped_messages += outcome.drops
+                self.volume.record(
+                    self.sim.now,
+                    outcome.bytes_sent,
+                    "broadcast",
+                    src=broadcaster,
+                    dst=receiver,
+                )
+                if not outcome.delivered:
+                    continue  # lost: no mix, reference goes stale below
                 if broadcast_payload is None:
                     broadcast_payload, err = self.wire.transmit_delta_with_error(
                         sync_result.aggregated, self._wire_reference
@@ -348,23 +462,66 @@ class HADFLTrainer:
                     broadcast_payload,
                     own_weight=params.unselected_mix_weight,
                 )
-                self.volume.record(
-                    self.sim.now,
-                    self.model_nbytes,
-                    "broadcast",
-                    src=broadcaster,
-                    dst=receiver,
-                )
+                self._ref_epoch[receiver] = next_ref_epoch
             # The round's shared reference for the next delta-shipped
             # sync: the broadcast reconstruction when one was delivered
             # (what unselected receivers decoded — survivors can
             # reproduce it from the exact aggregate), else the aggregate
-            # itself.
+            # itself.  Everyone not marked with the new epoch above is
+            # now stale and will be densely re-synced before its next
+            # delta exchange.
             self._wire_reference = (
                 broadcast_payload
                 if broadcast_payload is not None
                 else sync_result.aggregated
             )
+            self._current_ref_epoch = next_ref_epoch
+        elif selected:
+            # Graceful degradation: the round's sync produced no
+            # aggregate (every selected device died or became
+            # unreachable mid-protocol).
+            policy = params.sync_failure_policy
+            if policy == "skip_round" and window_snapshot is not None:
+                if self._consecutive_rollbacks >= params.max_round_rollbacks:
+                    # Live-lock guard: a sync that fails round after
+                    # round would freeze the epoch counter forever.
+                    # Keep the local progress (continue semantics)
+                    # until a sync succeeds again.
+                    self.trace.record(self.sim.now, "rollback_limit_reached")
+                else:
+                    # Roll the window back: devices return to their
+                    # round-start state, as if the failed round never ran.
+                    for device_id, snap in window_snapshot.items():
+                        device = cluster.device_by_id(device_id)
+                        device.set_params(snap["params"])
+                        device.import_train_state(snap["train_state"])
+                        for live, saved in zip(
+                            device.optimizer.flat_state(), snap["opt_vectors"]
+                        ):
+                            live[...] = saved
+                    self._consecutive_rollbacks += 1
+                    self.trace.record(self.sim.now, "round_rolled_back")
+            elif policy == "fallback_dense":
+                # Re-dispatch the last known-good model dense
+                # (full-width) to every alive available device: costly
+                # in bytes, but the fleet re-converges immediately.
+                dense_nbytes = self.wire.dense_nbytes(
+                    int(self._wire_reference.size)
+                )
+                for device_id in available:
+                    if not cluster.failures.is_alive(device_id, self.sim.now):
+                        continue
+                    cluster.device_by_id(device_id).set_params(
+                        self._wire_reference
+                    )
+                    self._ref_epoch[device_id] = self._current_ref_epoch
+                    self.volume.record(
+                        self.sim.now, dense_nbytes, "fallback_dense",
+                        dst=device_id,
+                    )
+                self.trace.record(self.sim.now, "fallback_dense_dispatch")
+            # "continue" (default): devices keep their local parameters
+            # and training proceeds — today's behaviour, now labelled.
 
         # Step 7: runtime supervisor records the actual versions.
         versions = {
@@ -394,10 +551,16 @@ class HADFLTrainer:
             bypasses=len(sync_result.bypasses),
             # Quantisation telemetry: the largest absolute error any
             # payload suffered crossing the wire this round (0.0 on the
-            # lossless default).
+            # lossless default) — plus the round's robustness counters
+            # (all zero on a fault-free run).
             detail={
                 "wire_dtype": self.wire.name,
                 "wire_cast_error": wire_cast_error,
+                "retries": retries,
+                "dropped_messages": dropped_messages,
+                "bypasses": len(sync_result.bypasses),
+                "resyncs": resyncs,
+                **({"sync_failed": True} if sync_failed else {}),
             },
         )
         if round_index % max(1, eval_every) == 0:

@@ -31,6 +31,7 @@ from repro.optim import SGD, ConstantSchedule, WarmupSchedule
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.device import DeviceSpec
 from repro.sim.failures import FailureInjector
+from repro.sim.linkfaults import LinkFaultModel, RetryPolicy
 from repro.sim.network import HeterogeneousNetworkModel, NetworkModel
 
 HETEROGENEITY_3311: Tuple[int, ...] = (3, 3, 1, 1)
@@ -135,6 +136,32 @@ class ExperimentConfig:
     # model the cast of a narrow wire and halve/quarter every transfer.
     wire_dtype: str = "fp64"
 
+    # Chaos layer (all off by default — fault-free runs are bitwise
+    # identical to a config without these knobs).  Device faults:
+    # Poisson crash windows at ``failure_rate`` per device per virtual
+    # second (down for an exponential ``mean_downtime``), and slowdown
+    # (straggler) windows at ``slowdown_rate`` during which a device
+    # computes ``slowdown_factor`` times slower but stays alive.  Link
+    # faults: every message dropped with ``link_drop_prob``, transfer
+    # times jittered lognormally with sigma ``link_jitter``.  Lost
+    # messages are retried up to ``retry_attempts`` with exponential
+    # backoff (``retry_base_timeout`` · ``retry_backoff``^k).
+    failure_rate: float = 0.0
+    mean_downtime: float = 5.0
+    slowdown_rate: float = 0.0
+    mean_slowdown: float = 5.0
+    slowdown_factor: float = 4.0
+    link_drop_prob: float = 0.0
+    link_jitter: float = 0.0
+    retry_attempts: int = 4
+    retry_base_timeout: float = 0.05
+    retry_backoff: float = 2.0
+    sync_failure_policy: str = "continue"
+    chaos_seed: int = 0
+    chaos_horizon: Optional[float] = None
+    """Virtual-time span the random fault schedule covers; ``None``
+    estimates it from the run length (worst-case device pace)."""
+
     def __post_init__(self):
         if self.num_selected > len(self.power_ratio):
             raise ValueError(
@@ -143,6 +170,16 @@ class ExperimentConfig:
             )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.failure_rate < 0 or self.slowdown_rate < 0:
+            raise ValueError("failure_rate and slowdown_rate must be >= 0")
+        if not 0.0 <= self.link_drop_prob < 1.0:
+            raise ValueError(
+                f"link_drop_prob must be in [0, 1), got {self.link_drop_prob}"
+            )
+        if self.link_jitter < 0:
+            raise ValueError(
+                f"link_jitter must be >= 0, got {self.link_jitter}"
+            )
 
     # ------------------------------------------------------------------ #
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -211,13 +248,78 @@ class ExperimentConfig:
             bytes_per_scalar=bytes_per_scalar,
         )
 
+    # ------------------------------------------------------------------ #
+    # Chaos factories
+    # ------------------------------------------------------------------ #
+    def estimated_horizon(self) -> float:
+        """Virtual-time span random fault schedules should cover.
+
+        Rough upper bound on the run length: warm-up plus the target
+        epochs, each priced at the *slowest* device's epoch time (the
+        fastest-native normalisation makes that
+        ``base_step_time · max(ratio)/min(ratio)`` per step).
+        """
+        if self.chaos_horizon is not None:
+            return float(self.chaos_horizon)
+        ratio = self.power_ratio
+        worst_step = self.base_step_time * max(ratio) / min(ratio)
+        epochs = self.target_epochs + self.warmup_epochs + 1
+        return epochs * self.steps_per_local_epoch() * worst_step
+
+    def make_failure_injector(self) -> Optional[FailureInjector]:
+        """Random crash + slowdown schedule, or ``None`` when rates are 0."""
+        if self.failure_rate == 0.0 and self.slowdown_rate == 0.0:
+            return None
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.chaos_seed, 0xC405])
+        )
+        return FailureInjector.random(
+            list(range(self.num_devices)),
+            horizon=self.estimated_horizon(),
+            failure_rate=self.failure_rate,
+            mean_downtime=self.mean_downtime,
+            rng=rng,
+            slowdown_rate=self.slowdown_rate,
+            mean_slowdown=self.mean_slowdown,
+            slowdown_factor=self.slowdown_factor,
+        )
+
+    def make_link_faults(self) -> Optional[LinkFaultModel]:
+        if self.link_drop_prob == 0.0 and self.link_jitter == 0.0:
+            return None
+        return LinkFaultModel(
+            drop_prob=self.link_drop_prob,
+            latency_jitter=self.link_jitter,
+            seed=self.chaos_seed,
+        )
+
+    def make_retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.retry_attempts,
+            base_timeout=self.retry_base_timeout,
+            backoff_factor=self.retry_backoff,
+        )
+
     def make_cluster(
         self,
         seed_offset: int = 0,
         failure_injector: Optional[FailureInjector] = None,
+        link_faults: Optional[LinkFaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> SimulatedCluster:
-        """Build a fresh, fully deterministic testbed for one run."""
+        """Build a fresh, fully deterministic testbed for one run.
+
+        Explicit ``failure_injector`` / ``link_faults`` / ``retry_policy``
+        win over the config's random chaos schedule (tests inject
+        hand-written windows and flaps this way).
+        """
         train, test = self.make_data()
+        if failure_injector is None:
+            failure_injector = self.make_failure_injector()
+        if link_faults is None:
+            link_faults = self.make_link_faults()
+        if retry_policy is None:
+            retry_policy = self.make_retry_policy()
         return SimulatedCluster(
             model_factory=self.make_model_factory(),
             train_set=train,
@@ -239,6 +341,8 @@ class ExperimentConfig:
             executor=self.executor,
             executor_workers=self.executor_workers,
             wire=self.wire_dtype,
+            link_faults=link_faults,
+            retry_policy=retry_policy,
         )
 
     def hadfl_params(self) -> HADFLParams:
@@ -252,6 +356,7 @@ class ExperimentConfig:
             selection=self.selection,
             unselected_mix_weight=self.unselected_mix_weight,
             adapt_local_steps=self.adapt_local_steps,
+            sync_failure_policy=self.sync_failure_policy,
         )
 
     def describe(self) -> str:

@@ -91,6 +91,28 @@ class RunResult:
     def total_comm_bytes(self) -> int:
         return sum(r.comm_bytes for r in self.rounds)
 
+    def robustness_summary(self) -> Dict[str, int]:
+        """Run totals of the per-round robustness telemetry.
+
+        Sums the ``detail`` counters the chaos layer records each round
+        (``retries``, ``dropped_messages``, ``bypasses``, ``resyncs``,
+        plus the number of failed syncs); rounds without the keys (older
+        results, baseline schemes) count zero.
+        """
+        totals = {
+            "retries": 0,
+            "dropped_messages": 0,
+            "bypasses": 0,
+            "resyncs": 0,
+            "failed_syncs": 0,
+        }
+        for record in self.rounds:
+            for key in ("retries", "dropped_messages", "bypasses", "resyncs"):
+                totals[key] += int(record.detail.get(key, 0))
+            if record.detail.get("sync_failed"):
+                totals["failed_syncs"] += 1
+        return totals
+
     def best_accuracy(self) -> float:
         accs = self.test_accuracies()
         if accs.size == 0:

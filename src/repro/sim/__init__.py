@@ -11,14 +11,32 @@ This subpackage replaces the paper's physical testbed (four V100 GPUs with
 * :class:`~repro.sim.network.NetworkModel` — latency/bandwidth cost model
   for point-to-point, broadcast, ring all-reduce and gossip transfers.
 * :class:`~repro.sim.failures.FailureInjector` — scheduled or random
-  disconnect windows (Sec. III-D's unreliable links).
+  crash windows and slowdown (straggler) windows (Sec. III-D's
+  unreliable devices).
+* :class:`~repro.sim.linkfaults.LinkFaultModel` /
+  :class:`~repro.sim.linkfaults.ReliableDelivery` — lossy links with
+  drop probability, latency jitter and flap windows, plus the
+  retry/backoff envelope that crosses them.
 * :class:`~repro.sim.trace.TraceRecorder` — structured event log.
 """
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.device import Device, DeviceSpec
 from repro.sim.network import HeterogeneousNetworkModel, NetworkModel
-from repro.sim.failures import FailureInjector, FailureWindow
+from repro.sim.failures import (
+    FailureInjector,
+    FailureWindow,
+    SlowdownDrift,
+    SlowdownWindow,
+)
+from repro.sim.linkfaults import (
+    DEFAULT_RETRY_POLICY,
+    DeliveryOutcome,
+    LinkFaultModel,
+    LinkFlapWindow,
+    ReliableDelivery,
+    RetryPolicy,
+)
 from repro.sim.trace import TraceRecorder
 from repro.sim.executor import (
     LocalExecutor,
@@ -38,6 +56,14 @@ __all__ = [
     "HeterogeneousNetworkModel",
     "FailureInjector",
     "FailureWindow",
+    "SlowdownDrift",
+    "SlowdownWindow",
+    "LinkFaultModel",
+    "LinkFlapWindow",
+    "ReliableDelivery",
+    "RetryPolicy",
+    "DeliveryOutcome",
+    "DEFAULT_RETRY_POLICY",
     "TraceRecorder",
     "SimulatedCluster",
     "LocalExecutor",

@@ -24,9 +24,12 @@ from repro.optim.base import Optimizer
 from repro.optim.lr_schedules import LRSchedule
 from repro.optim.sgd import SGD
 from repro.parallel.tasks import LocalTrainTask
+from dataclasses import replace as dc_replace
+
 from repro.sim.device import Device, DeviceSpec, LocalTrainResult
 from repro.sim.executor import LocalExecutor, make_executor
-from repro.sim.failures import FailureInjector
+from repro.sim.failures import FailureInjector, SlowdownDrift
+from repro.sim.linkfaults import LinkFaultModel, RetryPolicy
 from repro.sim.network import NetworkModel, align_network_granularity
 
 
@@ -53,7 +56,21 @@ class SimulatedCluster:
     lr_schedule:
         Shared learning-rate policy (e.g. warm-up then 0.01).
     failure_injector:
-        Optional disconnect schedule consulted by trainers.
+        Optional fault schedule consulted by trainers: crash windows and
+        slowdown (straggler) windows.  When the injector carries
+        slowdown windows at construction time, every device's
+        ``power_drift`` is composed with them (a straggler computes
+        slower but stays alive and synchronising).
+    link_faults:
+        Optional :class:`~repro.sim.linkfaults.LinkFaultModel` — per-link
+        message drops, latency jitter and flap windows.  Trainers route
+        message-level transfers through a
+        :class:`~repro.sim.linkfaults.ReliableDelivery` built from this
+        model; ``None`` (default) leaves transfers perfectly reliable.
+    retry_policy:
+        Optional :class:`~repro.sim.linkfaults.RetryPolicy` governing the
+        retry/backoff envelope (defaults to
+        :data:`~repro.sim.linkfaults.DEFAULT_RETRY_POLICY`).
     seed:
         Master seed; initial model, shards, device RNG streams and ring
         shuffles all derive from it deterministically.
@@ -94,12 +111,28 @@ class SimulatedCluster:
         executor="serial",
         executor_workers: Optional[int] = None,
         wire: WireSpec = None,
+        link_faults: Optional[LinkFaultModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if not specs:
             raise ValueError("need at least one device spec")
         ids = [s.device_id for s in specs]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate device ids in specs: {ids}")
+        if failure_injector is not None and failure_injector.has_slowdowns():
+            # Compose straggler windows into each device's power drift.
+            # Only done when windows exist at construction time, so the
+            # default path keeps the fixed-step-time fast path (and
+            # crash-only schedules stay on it too).
+            specs = [
+                dc_replace(
+                    s,
+                    power_drift=SlowdownDrift(
+                        failure_injector, s.device_id, s.power_drift
+                    ),
+                )
+                for s in specs
+            ]
         self.specs = list(specs)
         self.train_set = train_set
         self.test_set = test_set
@@ -109,6 +142,8 @@ class SimulatedCluster:
         )
         self.network = align_network_granularity(network, self.wire)
         self.failures = failure_injector or FailureInjector()
+        self.link_faults = link_faults
+        self.retry_policy = retry_policy
         self.lr_schedule = lr_schedule
         self.seed = seed
         self.executor: LocalExecutor = make_executor(executor, executor_workers)

@@ -1,16 +1,31 @@
-"""Failure injection: scheduled and random device disconnect windows.
+"""Failure injection: device crash windows and slowdown (straggler) faults.
 
 Models the paper's third challenge — "the geographic distribution of
 devices ... brings high communication unreliability.  If the system cannot
 handle the suddenly disconnected device well, its performance will suffer
-a great loss" (Sec. I) — as time windows during which a device neither
-computes nor answers messages.
+a great loss" (Sec. I) — as two fault types:
+
+* **crash windows** — time windows during which a device neither computes
+  nor answers messages (:class:`FailureWindow`);
+* **slowdown windows** — degraded-rate (straggler) intervals during which
+  a device keeps computing and answering, just slower by a factor
+  (:class:`SlowdownWindow`).  Distinct from crashes: a straggler still
+  participates in synchronisation and never triggers the bypass walk.
+
+Liveness queries bisect a per-device list of merged disjoint intervals
+(built lazily, invalidated on insertion), so ``is_alive`` is
+``O(log windows)`` rather than a linear scan — the difference matters for
+trace-driven availability schedules with thousands of windows.
+
+Link-level faults (message drops, latency jitter, flaps) live in
+:mod:`repro.sim.linkfaults`.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,23 +50,98 @@ class FailureWindow:
         return self.down_at <= time < self.up_at
 
 
+@dataclass(frozen=True)
+class SlowdownWindow:
+    """A closed-open interval during which a device computes ``factor``
+    times slower than its nominal rate (factor > 1 slows)."""
+
+    device_id: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"end ({self.end}) must be after start ({self.start})")
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def covers(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+class SlowdownDrift:
+    """Picklable ``time -> power multiplier`` composing an optional base
+    drift with the injector's slowdown windows.
+
+    :class:`~repro.sim.cluster.SimulatedCluster` installs one per device
+    as the spec's ``power_drift``; with no active window the multiplier
+    is exactly the base drift (or exactly 1.0), so chaos-off step times
+    are bitwise identical.
+    """
+
+    def __init__(
+        self,
+        failures: "FailureInjector",
+        device_id: int,
+        base_drift: Optional[Callable[[float], float]] = None,
+    ):
+        self.failures = failures
+        self.device_id = device_id
+        self.base_drift = base_drift
+
+    def __call__(self, time: float) -> float:
+        multiplier = 1.0 if self.base_drift is None else self.base_drift(time)
+        return multiplier / self.failures.slowdown_factor(self.device_id, time)
+
+
 class FailureInjector:
-    """Answers "is device d alive at time t?" from a set of windows."""
+    """Answers "is device d alive (and how slow) at time t?" from windows."""
 
     def __init__(self, windows: Sequence[FailureWindow] = ()):
         self._windows: Dict[int, List[FailureWindow]] = {}
+        self._slowdowns: Dict[int, List[SlowdownWindow]] = {}
+        # Lazily built per-device merged disjoint (down, up) intervals,
+        # sorted by start — the bisect substrate of every liveness query.
+        self._merged_cache: Dict[int, List[Tuple[float, float]]] = {}
         for window in windows:
             self.add_window(window)
 
+    # ------------------------------------------------------------------ #
+    # Crash windows
+    # ------------------------------------------------------------------ #
     def add_window(self, window: FailureWindow) -> None:
         self._windows.setdefault(window.device_id, []).append(window)
+        self._merged_cache.pop(window.device_id, None)
 
     def fail(self, device_id: int, down_at: float, up_at: float = float("inf")) -> None:
         """Convenience: schedule a disconnect for ``device_id``."""
         self.add_window(FailureWindow(device_id, down_at, up_at))
 
+    def _merged(self, device_id: int) -> List[Tuple[float, float]]:
+        """Sorted, merged, disjoint crash intervals for one device."""
+        merged = self._merged_cache.get(device_id)
+        if merged is None:
+            intervals = sorted(
+                (w.down_at, w.up_at) for w in self._windows.get(device_id, ())
+            )
+            merged = []
+            for down, up in intervals:
+                if merged and down <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], up))
+                else:
+                    merged.append((down, up))
+            self._merged_cache[device_id] = merged
+        return merged
+
     def is_alive(self, device_id: int, time: float) -> bool:
-        return not any(w.covers(time) for w in self._windows.get(device_id, ()))
+        merged = self._merged(device_id)
+        if not merged:
+            return True
+        index = bisect.bisect_right(merged, (time, float("inf"))) - 1
+        return not (index >= 0 and merged[index][1] > time)
 
     def alive_devices(self, device_ids: Sequence[int], time: float) -> List[int]:
         return [d for d in device_ids if self.is_alive(d, time)]
@@ -63,18 +153,58 @@ class FailureInjector:
         ``inf`` when no failure lies ahead.  Trainers use this to stop a
         device's compute at the moment it disconnects mid-window.
         """
-        windows = self._windows.get(device_id, ())
-        candidates = []
-        for window in windows:
-            if window.covers(from_time):
-                return from_time
-            if window.down_at >= from_time:
-                candidates.append(window.down_at)
-        return min(candidates, default=float("inf"))
+        merged = self._merged(device_id)
+        if not merged:
+            return float("inf")
+        index = bisect.bisect_right(merged, (from_time, float("inf"))) - 1
+        if index >= 0 and merged[index][1] > from_time:
+            return from_time
+        if index + 1 < len(merged):
+            return merged[index + 1][0]
+        return float("inf")
+
+    def uptime_fraction(self, device_id: int, horizon: float) -> float:
+        """Fraction of ``[0, horizon)`` the device is alive — the
+        availability figure chaos reports summarise per device."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        downtime = 0.0
+        for down, up in self._merged(device_id):
+            if down >= horizon:
+                break
+            downtime += min(up, horizon) - down
+        return 1.0 - downtime / horizon
 
     def windows_for(self, device_id: int) -> List[FailureWindow]:
         return list(self._windows.get(device_id, ()))
 
+    # ------------------------------------------------------------------ #
+    # Slowdown (straggler) windows
+    # ------------------------------------------------------------------ #
+    def slow(
+        self, device_id: int, start: float, end: float, factor: float
+    ) -> None:
+        """Schedule a degraded-rate window (``factor`` > 1 slows)."""
+        self._slowdowns.setdefault(device_id, []).append(
+            SlowdownWindow(device_id, start, end, factor)
+        )
+
+    def slowdown_factor(self, device_id: int, time: float) -> float:
+        """Compound slowdown at ``time`` (1.0 = full speed; overlapping
+        windows multiply)."""
+        factor = 1.0
+        for window in self._slowdowns.get(device_id, ()):
+            if window.covers(time):
+                factor *= window.factor
+        return factor
+
+    def slowdowns_for(self, device_id: int) -> List[SlowdownWindow]:
+        return list(self._slowdowns.get(device_id, ()))
+
+    def has_slowdowns(self) -> bool:
+        return any(self._slowdowns.values())
+
+    # ------------------------------------------------------------------ #
     @classmethod
     def random(
         cls,
@@ -83,22 +213,39 @@ class FailureInjector:
         failure_rate: float,
         mean_downtime: float,
         rng: Optional[np.random.Generator] = None,
+        slowdown_rate: float = 0.0,
+        mean_slowdown: float = 5.0,
+        slowdown_factor: float = 4.0,
     ) -> "FailureInjector":
-        """Poisson failures: each device fails at ``failure_rate`` per unit
-        time and stays down for an exponential ``mean_downtime``."""
+        """Poisson faults: each device crashes at ``failure_rate`` per unit
+        time (down for an exponential ``mean_downtime``) and, independently,
+        enters ``slowdown_factor``-times-degraded straggler windows at
+        ``slowdown_rate`` (lasting an exponential ``mean_slowdown``)."""
         if failure_rate < 0 or mean_downtime <= 0:
             raise ValueError("failure_rate must be >= 0, mean_downtime > 0")
+        if slowdown_rate < 0 or mean_slowdown <= 0 or slowdown_factor <= 0:
+            raise ValueError(
+                "slowdown_rate must be >= 0, mean_slowdown and "
+                "slowdown_factor > 0"
+            )
         rng = rng or np.random.default_rng()
         injector = cls()
         for device in device_ids:
             t = 0.0
-            while True:
-                if failure_rate == 0:
-                    break
+            while failure_rate > 0:
                 t += rng.exponential(1.0 / failure_rate)
                 if t >= horizon:
                     break
                 downtime = rng.exponential(mean_downtime)
                 injector.fail(device, t, t + downtime)
                 t += downtime
+        for device in device_ids:
+            t = 0.0
+            while slowdown_rate > 0:
+                t += rng.exponential(1.0 / slowdown_rate)
+                if t >= horizon:
+                    break
+                duration = rng.exponential(mean_slowdown)
+                injector.slow(device, t, t + duration, slowdown_factor)
+                t += duration
         return injector

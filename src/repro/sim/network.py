@@ -184,6 +184,22 @@ class NetworkModel:
         """Point-to-point cost between two named devices (uniform here)."""
         return self.p2p_time(nbytes)
 
+    def degraded_p2p_time(
+        self, src: int, dst: int, nbytes: float, latency_factor: float
+    ) -> float:
+        """Point-to-point cost under a link-fault latency multiplier.
+
+        The :class:`~repro.sim.linkfaults.LinkFaultModel` jitter draw
+        scales the whole transfer (congested links slow both the
+        handshake and the stream).  A factor of exactly 1.0 reproduces
+        :meth:`p2p_time_between` bitwise — the chaos-off guarantee.
+        """
+        if latency_factor <= 0:
+            raise ValueError(
+                f"latency_factor must be positive, got {latency_factor}"
+            )
+        return self.p2p_time_between(src, dst, nbytes) * latency_factor
+
     def ring_time_for(self, device_ids: Sequence[int], nbytes: float) -> float:
         """Ring collective cost for a named participant set."""
         return self.ring_allreduce_time(nbytes, len(device_ids))

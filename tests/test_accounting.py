@@ -242,3 +242,79 @@ class TestRingAllReduceBytes:
         # An fp32-wire network splits the same 10 scalars at 4 B each.
         net = NetworkModel(latency=0.0, bandwidth=1.0, bytes_per_scalar=4)
         assert net.ring_allreduce_time(40, 4) == pytest.approx(2 * 3 * 12)
+
+
+class TestControlByteAccounting:
+    """Satellite of the chaos layer: repair control traffic (handshakes,
+    warnings) is pinned byte-for-byte and survives the round invariant."""
+
+    def test_paper_example_bytes_pinned(self):
+        """Fig. 2(b): one bypass costs exactly one handshake+warning pair
+        (2 x CONTROL_MESSAGE_BYTES) plus one repair resend segment on top
+        of the surviving ring's gossip bytes."""
+        from repro.comm import CONTROL_MESSAGE_BYTES, FaultTolerantRingSync
+        from repro.sim import NetworkModel, Simulator
+
+        net = NetworkModel(latency=1e-3, bandwidth=1e8)
+        payload = 40_000
+        vectors = {i: np.full(10, float(i)) for i in range(4)}
+        injector = FailureInjector()
+        injector.fail(2, down_at=0.0)
+        repaired = FaultTolerantRingSync(net).run(
+            Simulator(), [0, 1, 2, 3], vectors,
+            lambda d, t: injector.is_alive(d, t), payload,
+        )
+        healthy = FaultTolerantRingSync(net).run(
+            Simulator(), [0, 1, 3], {d: vectors[d] for d in (0, 1, 3)},
+            lambda d, t: True, payload,
+        )
+        seg_bytes = int(np.ceil(payload / 3))  # 3 devices alive at start
+        assert repaired.control_bytes == 2 * CONTROL_MESSAGE_BYTES
+        assert (
+            repaired.bytes_sent
+            == healthy.bytes_sent + seg_bytes + 2 * CONTROL_MESSAGE_BYTES
+        )
+
+    def test_failed_syncs_charge_attempted_bytes(self):
+        """Every sync fails (the selected pair's link is permanently
+        dark): rounds still charge the attempted payload + control bytes
+        and the invariant keeps holding."""
+        from repro.sim import LinkFaultModel, RetryPolicy
+
+        config = _config(target_epochs=3.0)
+        faults = LinkFaultModel()
+        faults.flap(2, 3, down_at=0.0)  # symmetric: the pair can't talk
+        cluster = config.make_cluster(
+            link_faults=faults,
+            retry_policy=RetryPolicy(max_attempts=2, base_timeout=0.01),
+        )
+        trainer = HADFLTrainer(
+            cluster, params=config.hadfl_params(),
+            selection=ForcedWorstSelection(), seed=config.seed,
+        )
+        result = trainer.run(target_epochs=config.target_epochs)
+        _assert_record_accountant_agree(result, trainer)
+        failed = [r for r in result.rounds if r.detail.get("sync_failed")]
+        assert failed, "no round hit the zero-survivor path"
+        for record in failed:
+            assert record.comm_bytes > 0  # attempted traffic is real
+        assert result.robustness_summary()["failed_syncs"] == len(failed)
+
+    def test_chaos_kinds_are_closed_set(self):
+        """Whatever faults fire, every accounted byte belongs to a known
+        traffic kind — nothing leaks in unlabelled."""
+        config = _config(
+            target_epochs=3.0, wire_dtype="topk0.2",
+            failure_rate=0.05, mean_downtime=2.0,
+            link_drop_prob=0.1, chaos_seed=5,
+        )
+        cluster = config.make_cluster()
+        trainer = HADFLTrainer(
+            cluster, params=config.hadfl_params(), seed=config.seed
+        )
+        result = trainer.run(target_epochs=config.target_epochs)
+        _assert_record_accountant_agree(result, trainer)
+        assert set(trainer.volume.bytes_by_kind()) <= {
+            "initial_dispatch", "partial_sync", "broadcast",
+            "resync", "fallback_dense",
+        }

@@ -1,0 +1,188 @@
+"""Unit tests for link faults and the reliable-delivery envelope."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DEFAULT_RETRY_POLICY,
+    HeterogeneousNetworkModel,
+    LinkFaultModel,
+    NetworkModel,
+    ReliableDelivery,
+    RetryPolicy,
+)
+from repro.sim.linkfaults import DeliveryOutcome, LinkFlapWindow
+
+NET = NetworkModel(latency=1e-3, bandwidth=1e8)
+
+
+class TestLinkFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            LinkFaultModel(drop_prob=1.0)
+        with pytest.raises(ValueError, match="drop_prob"):
+            LinkFaultModel(drop_prob=-0.1)
+        with pytest.raises(ValueError, match="latency_jitter"):
+            LinkFaultModel(latency_jitter=-1.0)
+        with pytest.raises(ValueError, match="link"):
+            LinkFaultModel(link_drop_prob={(0, 1): 1.5})
+
+    def test_inactive_by_default(self):
+        assert not LinkFaultModel().active
+
+    def test_active_with_any_knob(self):
+        assert LinkFaultModel(drop_prob=0.1).active
+        assert LinkFaultModel(latency_jitter=0.2).active
+        assert LinkFaultModel(link_drop_prob={(0, 1): 0.5}).active
+        flapped = LinkFaultModel()
+        flapped.flap(0, 1, down_at=1.0, up_at=2.0)
+        assert flapped.active
+
+    def test_clean_attempt_delivers_unit_factor(self):
+        delivered, factor = LinkFaultModel().attempt(0, 1, 0.0)
+        assert delivered
+        assert factor == 1.0
+
+    def test_deterministic_per_seed(self):
+        def draws(seed):
+            model = LinkFaultModel(drop_prob=0.5, latency_jitter=0.3, seed=seed)
+            return [model.attempt(0, 1, float(t)) for t in range(50)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_links_have_independent_streams(self):
+        model = LinkFaultModel(drop_prob=0.5, seed=3)
+        a = [model.attempt(0, 1, 0.0)[0] for _ in range(64)]
+        b = [model.attempt(1, 0, 0.0)[0] for _ in range(64)]
+        assert a != b  # directed links draw from distinct streams
+
+    def test_per_link_override(self):
+        model = LinkFaultModel(drop_prob=0.0, link_drop_prob={(0, 1): 0.999})
+        assert model.drop_probability(0, 1) == 0.999
+        assert model.drop_probability(1, 0) == 0.0
+        # The overridden link drops essentially always; the reverse never.
+        assert not any(model.attempt(0, 1, 0.0)[0] for _ in range(20))
+        assert all(model.attempt(1, 0, 0.0)[0] for _ in range(20))
+
+    def test_flap_window_blocks_deliveries(self):
+        model = LinkFaultModel()
+        model.flap(0, 1, down_at=1.0, up_at=2.0)
+        assert model.is_up(0, 1, 0.5)
+        assert not model.is_up(0, 1, 1.0)  # closed at the left edge
+        assert not model.is_up(0, 1, 1.999)
+        assert model.is_up(0, 1, 2.0)  # open at the right edge
+        assert not model.attempt(0, 1, 1.5)[0]
+        assert model.attempt(0, 1, 2.5)[0]
+
+    def test_flap_symmetric_by_default(self):
+        model = LinkFaultModel()
+        model.flap(0, 1, down_at=0.0, up_at=1.0)
+        assert not model.is_up(1, 0, 0.5)
+        directed = LinkFaultModel()
+        directed.flap(0, 1, down_at=0.0, up_at=1.0, symmetric=False)
+        assert directed.is_up(1, 0, 0.5)
+
+    def test_flap_window_validation(self):
+        with pytest.raises(ValueError, match="up_at"):
+            LinkFlapWindow(0, 1, down_at=2.0, up_at=2.0)
+        with pytest.raises(ValueError, match="down_at"):
+            LinkFlapWindow(0, 1, down_at=-1.0)
+
+    def test_jitter_factor_positive_and_varying(self):
+        model = LinkFaultModel(latency_jitter=0.5, seed=11)
+        factors = [model.attempt(0, 1, 0.0)[1] for _ in range(32)]
+        assert all(f > 0 for f in factors)
+        assert len(set(factors)) > 1
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_timeout"):
+            RetryPolicy(base_timeout=-1.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(base_timeout=0.1, backoff_factor=3.0)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.3)
+        assert policy.backoff(2) == pytest.approx(0.9)
+
+    def test_default_policy(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 4
+
+
+class TestDeliveryOutcome:
+    def test_retry_and_drop_counts(self):
+        ok = DeliveryOutcome(delivered=True, attempts=3, elapsed=1.0, bytes_sent=30)
+        assert ok.retries == 2
+        assert ok.drops == 2  # two lost attempts preceded the delivery
+        failed = DeliveryOutcome(delivered=False, attempts=4, elapsed=2.0, bytes_sent=40)
+        assert failed.retries == 3
+        assert failed.drops == 4  # every attempt was lost
+
+
+class TestReliableDelivery:
+    def test_fault_free_fast_path_matches_raw_network(self):
+        for faults in (None, LinkFaultModel()):
+            outcome = ReliableDelivery(NET, faults).send(0, 1, 4096, time=0.0)
+            assert outcome.delivered
+            assert outcome.attempts == 1
+            assert outcome.elapsed == NET.p2p_time_between(0, 1, 4096)
+            assert outcome.bytes_sent == 4096
+
+    def test_retries_charge_bytes_per_attempt(self):
+        faults = LinkFaultModel()
+        faults.flap(0, 1, down_at=0.0, up_at=0.01)  # first attempt always lost
+        outcome = ReliableDelivery(NET, faults).send(0, 1, 1000, time=0.0)
+        assert outcome.delivered
+        assert outcome.attempts >= 2
+        assert outcome.bytes_sent == 1000 * outcome.attempts
+        assert outcome.retries == outcome.attempts - 1
+
+    def test_gives_up_after_max_attempts(self):
+        faults = LinkFaultModel()
+        faults.flap(0, 1, down_at=0.0)  # permanently dark link
+        policy = RetryPolicy(max_attempts=3, base_timeout=0.05)
+        outcome = ReliableDelivery(NET, faults, policy).send(0, 1, 1000, time=0.0)
+        assert not outcome.delivered
+        assert outcome.attempts == 3
+        assert outcome.drops == 3
+        assert outcome.bytes_sent == 3000
+        # Elapsed covers three transfers' timeouts plus two full backoffs
+        # and the final one (the sender waits out the last timeout too).
+        transfer = NET.p2p_time_between(0, 1, 1000)
+        backoffs = sum(policy.backoff(k) for k in range(3))
+        assert outcome.elapsed == pytest.approx(3 * transfer + backoffs)
+
+    def test_elapsed_grows_with_retries(self):
+        faults = LinkFaultModel()
+        faults.flap(0, 1, down_at=0.0, up_at=0.01)
+        clean = ReliableDelivery(NET, None).send(0, 1, 1000, time=0.0)
+        retried = ReliableDelivery(NET, faults).send(0, 1, 1000, time=0.0)
+        assert retried.elapsed > clean.elapsed
+
+
+class TestDegradedP2PTime:
+    def test_unit_factor_is_exact(self):
+        base = NET.p2p_time_between(0, 1, 5000)
+        assert NET.degraded_p2p_time(0, 1, 5000, 1.0) == base
+
+    def test_factor_scales_time(self):
+        base = NET.p2p_time_between(0, 1, 5000)
+        assert NET.degraded_p2p_time(0, 1, 5000, 2.5) == pytest.approx(2.5 * base)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="latency_factor"):
+            NET.degraded_p2p_time(0, 1, 100, 0.0)
+
+    def test_heterogeneous_network_uses_per_link_time(self):
+        net = HeterogeneousNetworkModel(
+            latency=1e-3, bandwidth=1e8,
+            device_bandwidth={1: 1e6},
+        )
+        base = net.p2p_time_between(0, 1, 5000)
+        assert net.degraded_p2p_time(0, 1, 5000, 2.0) == pytest.approx(2.0 * base)

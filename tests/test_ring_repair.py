@@ -3,8 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.comm import FaultTolerantRingSync
-from repro.sim import FailureInjector, NetworkModel, Simulator, TraceRecorder
+from repro.comm import CONTROL_MESSAGE_BYTES, FaultTolerantRingSync
+from repro.sim import (
+    FailureInjector,
+    LinkFaultModel,
+    NetworkModel,
+    RetryPolicy,
+    Simulator,
+    TraceRecorder,
+)
 
 NET = NetworkModel(latency=1e-3, bandwidth=1e8)
 PAYLOAD = 40_000  # bytes
@@ -159,3 +166,99 @@ class TestValidation:
     def test_invalid_wait_time(self):
         with pytest.raises(ValueError):
             FaultTolerantRingSync(NET, wait_time=0.0)
+
+
+class TestRingBoundaryWalks:
+    def test_wraparound_bypass_across_ring_boundary(self):
+        """Dead devices straddling the list boundary ({3, 0}) force the
+        repair walk to wrap: device 1 walks past 0 then 3 to reach 2."""
+        injector = FailureInjector()
+        injector.fail(0, down_at=0.0)
+        injector.fail(3, down_at=0.0)
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector), PAYLOAD
+        )
+        assert result.survivors == [1, 2]
+        assert result.bypasses == [(3, 0, 1), (2, 3, 1)]
+        np.testing.assert_allclose(result.aggregated, np.full(10, 1.5))
+
+    def test_consecutive_dead_run_next_to_sole_surviving_pair(self):
+        """K=6 with devices 2..5 dead: device 0 walks the whole dead run
+        (four bypass hops) to find device 1, its only live upstream."""
+        injector = FailureInjector()
+        for d in (2, 3, 4, 5):
+            injector.fail(d, down_at=0.0)
+        trace = TraceRecorder()
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2, 3, 4, 5], _vectors(range(6)),
+            _alive_fn(injector), PAYLOAD, trace=trace,
+        )
+        assert result.survivors == [0, 1]
+        assert len(result.bypasses) == 4
+        assert {b[1] for b in result.bypasses} == {2, 3, 4, 5}
+        assert len(trace.events("handshake_no_reply")) == 4
+        np.testing.assert_allclose(result.aggregated, np.full(10, 0.5))
+
+
+class TestMidSyncDeath:
+    def test_device_dying_in_flight_loses_message_and_gets_bypassed(self):
+        """Device 2 is alive at round start but dies while its segment is
+        in flight: the message is lost, device 3 times out and repairs —
+        the round-start liveness snapshot no longer freezes the protocol."""
+        injector = FailureInjector()
+        injector.fail(2, down_at=5e-4)  # mid-first-transfer
+        trace = TraceRecorder()
+        result = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2, 3], _vectors(range(4)), _alive_fn(injector),
+            PAYLOAD, trace=trace,
+        )
+        assert result.survivors == [0, 1, 3]
+        assert result.bypasses == [(1, 2, 3)]
+        assert result.dropped_messages == 1
+        assert len(trace.events("bypass_established")) == 1
+        np.testing.assert_allclose(result.aggregated, np.full(10, (0 + 1 + 3) / 3))
+
+
+class TestLossyLinks:
+    def test_retry_recovers_and_charges_retransmission(self):
+        """One flapped first attempt: the retry lands after backoff, the
+        sync completes with everyone, and exactly one extra segment copy
+        is charged on top of the clean-run figure."""
+        faults = LinkFaultModel()
+        faults.flap(0, 1, down_at=0.0, up_at=0.01, symmetric=False)
+        clean = FaultTolerantRingSync(NET).run(
+            Simulator(), [0, 1, 2], _vectors(range(3)), lambda d, t: True, PAYLOAD
+        )
+        lossy = FaultTolerantRingSync(NET, link_faults=faults).run(
+            Simulator(), [0, 1, 2], _vectors(range(3)), lambda d, t: True, PAYLOAD
+        )
+        seg_bytes = int(np.ceil(PAYLOAD / 3))
+        assert lossy.survivors == [0, 1, 2]
+        assert lossy.retries == 1
+        assert lossy.dropped_messages == 1
+        # Two extra segment copies beyond the clean run: the first-step
+        # retransmission, plus the repair resend (the receiver's timeout
+        # fires before the backed-off retry can land, so it repairs
+        # through its still-alive upstream directly).
+        assert lossy.bytes_sent == clean.bytes_sent + 2 * seg_bytes
+        np.testing.assert_allclose(lossy.aggregated, clean.aggregated)
+
+    def test_totally_dark_links_report_attempted_bytes(self):
+        """Every link dead: zero survivors, but the attempted payload and
+        control traffic is still reported so the accountant can charge it."""
+        faults = LinkFaultModel()
+        faults.flap(0, 1, down_at=0.0)  # symmetric: both directions dark
+        policy = RetryPolicy(max_attempts=2, base_timeout=0.01)
+        result = FaultTolerantRingSync(
+            NET, link_faults=faults, retry_policy=policy
+        ).run(Simulator(), [0, 1], _vectors([0, 1]), lambda d, t: True, PAYLOAD)
+        assert result.survivors == []
+        assert result.aggregated is None
+        seg_bytes = int(np.ceil(PAYLOAD / 2))
+        # 1 retransmission per first-step send + 2 attempts per repair
+        # resend = 6 segment copies beyond the (never-run) gossip, plus a
+        # handshake+warning pair per exclusion.
+        assert result.control_bytes == 2 * 2 * CONTROL_MESSAGE_BYTES
+        assert result.bytes_sent == 6 * seg_bytes + result.control_bytes
+        assert result.retries == 4
+        assert result.dropped_messages == 8
