@@ -1,0 +1,170 @@
+"""``repro.analysis`` — the contract linter.
+
+Mechanically enforces the repo's prose invariants (see ROADMAP.md):
+
+=====================  ==================================================
+rule class             ids
+=====================  ==================================================
+determinism            det-global-rng, det-wallclock, det-unseeded-rng,
+                       det-set-order
+arena aliasing         arena-rebind, arena-dtype
+wire boundary          wire-boundary
+fork safety            fork-module-state, fork-lambda, fork-nested-def,
+                       fork-open-handle
+accounting             acct-kind
+API hygiene            api-annotations (+ the mypy subset engine)
+=====================  ==================================================
+
+Run ``python -m repro.analysis src/repro`` (``--format json`` for the
+machine-readable report); suppress an intentional exception in-line with
+``# repro: allow[rule-id] reason`` — reasons are mandatory and stale
+pragmas are themselves violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import ModuleInfo, Rule, Violation
+from repro.analysis.engine import AnalysisReport, analyze_paths, check_source
+from repro.analysis.rules import default_rules
+from repro.analysis.typecheck import (
+    MYPY_SUBSET,
+    mypy_available,
+    run_mypy,
+    subset_src_root,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "ModuleInfo",
+    "Rule",
+    "Violation",
+    "analyze_paths",
+    "check_source",
+    "default_rules",
+    "main",
+    "run_analysis",
+]
+
+
+def run_analysis(
+    paths: Sequence[str],
+    rule_filter: Optional[Sequence[str]] = None,
+    wire_allowlist: Optional[str] = None,
+    with_mypy: Optional[bool] = None,
+) -> AnalysisReport:
+    """The full pipeline: AST rules plus (optionally) the mypy engine.
+
+    ``with_mypy=None`` auto-detects: the engine runs when mypy is
+    importable, is recorded as ``unavailable`` otherwise — the report
+    stays comparable across environments either way.
+    """
+    report = analyze_paths(
+        paths, rule_filter=rule_filter, wire_allowlist=wire_allowlist
+    )
+    use_mypy = mypy_available() if with_mypy is None else with_mypy
+    if not use_mypy:
+        report.engines["mypy"] = "unavailable" if with_mypy is None else "disabled"
+        return report
+    src_root = subset_src_root(list(paths))
+    if src_root is None:
+        report.engines["mypy"] = "skipped: no repro package under given paths"
+        return report
+    status, violations = run_mypy(src_root)
+    report.engines["mypy"] = (
+        f"{status} ({'/'.join(MYPY_SUBSET)}, {len(violations)} violations)"
+        if status == "ok"
+        else status
+    )
+    report.violations.extend(violations)
+    report.violations.sort(key=Violation.sort_key)
+    return report
+
+
+# ---------------------------------------------------------------------- #
+def _default_target() -> str:
+    """``src/repro`` resolved from this package's own location."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Contract linter: determinism, arena aliasing, wire "
+        "boundary, fork safety, accounting kinds, API hygiene.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the machine-readable CI artefact)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated violation ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--allowlist", default=None,
+        help="wire-boundary allowlist file "
+        "(default: repro/analysis/wire_allowlist.txt)",
+    )
+    mypy_group = parser.add_mutually_exclusive_group()
+    mypy_group.add_argument(
+        "--mypy", dest="mypy", action="store_true", default=None,
+        help="require the mypy subset engine (error if not installed)",
+    )
+    mypy_group.add_argument(
+        "--no-mypy", dest="mypy", action="store_false",
+        help="skip the mypy subset engine",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            scope = (
+                ", ".join(sorted(rule.subpackages))
+                if rule.subpackages
+                else "all"
+            )
+            print(f"{rule.name}: {', '.join(rule.ids)}  [scope: {scope}]")
+        print("meta: pragma-syntax, stale-pragma, parse-error")
+        print(f"mypy subset: {', '.join(MYPY_SUBSET)}")
+        return 0
+
+    paths = args.paths or [_default_target()]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    if args.mypy is True and not mypy_available():
+        print("error: --mypy requested but mypy is not installed",
+              file=sys.stderr)
+        return 2
+    rule_filter = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    report = run_analysis(
+        paths,
+        rule_filter=rule_filter,
+        wire_allowlist=args.allowlist,
+        with_mypy=args.mypy,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1

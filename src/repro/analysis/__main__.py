@@ -1,0 +1,14 @@
+"""CLI: ``python -m repro.analysis [paths] [--format json] ...``.
+
+Exit codes: 0 — clean; 1 — unsuppressed violations (or stale pragmas,
+which are violations); 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Core datatypes of the contract linter.
+
+Six PRs of growth left this repo with load-bearing invariants that lived
+only as prose in ROADMAP.md — fixed-seed bitwise determinism, permanent
+arena-view aliasing, "every transfer crosses a ``WireFormat``",
+fork-safe worker state, named accounting kinds.  ``repro.analysis``
+turns each one into a mechanical check: a :class:`Rule` walks a module's
+AST and yields :class:`Violation` objects; intentional exceptions are
+suppressed in-line with a pragma comment that doubles as documentation
+(see :mod:`repro.analysis.pragmas`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Optional, Tuple
+
+#: Subpackages whose code runs inside a simulation trajectory.  The
+#: determinism / wire / accounting contracts apply here; ``data`` and the
+#: reporting layers (``experiments``, ``metrics``, ``io``, ``cli``) are
+#: driven by explicit seeds at their entry points instead.
+RUNTIME_SUBPACKAGES = frozenset(
+    {"sim", "core", "comm", "autograd", "optim", "nn", "baselines", "parallel"}
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def suppress(self, reason: str) -> "Violation":
+        return replace(self, suppressed=True, reason=reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module, located within the ``repro`` package.
+
+    ``rel`` is the package-relative path (``repro/sim/device.py``);
+    ``subpackage`` is the first component below ``repro`` (``sim``), or
+    the module stem for top-level modules (``io`` for ``repro/io.py``) —
+    the unit rule scopes are declared in.  Fixture tests hand
+    :func:`repro.analysis.engine.check_source` a *virtual* ``rel`` to
+    place a snippet into any scope.
+    """
+
+    path: str
+    rel: str
+    subpackage: str
+    source: str
+    tree: ast.AST
+
+    @classmethod
+    def from_source(cls, source: str, rel: str, path: Optional[str] = None) -> "ModuleInfo":
+        rel = rel.replace("\\", "/").lstrip("./")
+        parts = rel.split("/")
+        if parts and parts[0] == "repro" and len(parts) > 1:
+            sub = parts[1]
+            subpackage = sub[:-3] if sub.endswith(".py") else sub
+        else:
+            subpackage = ""
+        tree = ast.parse(source, filename=path or rel)
+        return cls(
+            path=path or rel,
+            rel=rel,
+            subpackage=subpackage,
+            source=source,
+            tree=tree,
+        )
+
+
+class Rule:
+    """Base class: one contract, one or more violation ids.
+
+    ``ids`` lists every violation id the rule may emit (used for pragma
+    validation and ``--rules`` filtering); ``subpackages`` limits the
+    rule to parts of the package (``None`` = all of ``repro``).
+    """
+
+    name: str = "abstract"
+    ids: Tuple[str, ...] = ()
+    subpackages: Optional[frozenset] = None
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if self.subpackages is None:
+            return True
+        return module.subpackage in self.subpackages
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+def call_name_chain(node: ast.AST) -> List[str]:
+    """The dotted-name parts of an expression, outermost last.
+
+    ``np.random.default_rng`` -> ``["np", "random", "default_rng"]``;
+    returns ``[]`` for anything that is not a plain dotted name (calls,
+    subscripts, ...), so callers can cheaply ignore dynamic receivers.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+@dataclass
+class QualnameVisitor(ast.NodeVisitor):
+    """AST visitor that tracks the qualified name of the enclosing scope.
+
+    Subclasses read ``self.qualname`` (``Class.method`` style, ``""`` at
+    module level) — the unit the wire-boundary allowlist matches on.
+    """
+
+    _stack: List[str] = field(default_factory=list)
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self._stack)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def _visit_func(self, node: ast.AST) -> None:
+        self._stack.append(node.name)  # type: ignore[attr-defined]
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func

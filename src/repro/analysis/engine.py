@@ -1,0 +1,187 @@
+"""The linter engine: walk files, run rules, apply pragmas, report.
+
+Entry points
+------------
+:func:`analyze_paths`
+    Walk ``.py`` files under the given paths, run every (or a filtered)
+    rule, fold in pragma suppressions and stale-pragma detection, and
+    return an :class:`AnalysisReport`.
+:func:`check_source`
+    Same pipeline over one in-memory snippet placed at a *virtual*
+    package path — the unit-test harness for rule fixtures.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import ModuleInfo, Rule, Violation
+from repro.analysis.pragmas import PragmaIndex, known_pragma_rules
+from repro.analysis.rules import default_rules
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one linter run produced, JSON-ready."""
+
+    root: str
+    files: List[str] = field(default_factory=list)
+    rule_ids: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    engines: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "files_scanned": len(self.files),
+            "rules": list(self.rule_ids),
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed": [v.to_dict() for v in self.suppressed],
+            "engines": self.engines,
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for violation in self.violations:
+            lines.append(violation.render())
+        lines.append(
+            f"{len(self.files)} files, "
+            f"{len(self.violations)} unsuppressed violations, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        for engine, status in sorted(self.engines.items()):
+            lines.append(f"engine {engine}: {status}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+        else:
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+
+
+def package_rel_path(path: str) -> str:
+    """``repro/...``-relative path of a file, from its rightmost
+    ``repro`` ancestor; files outside any ``repro`` package keep their
+    basename (rules scoped to subpackages then skip them)."""
+    parts = os.path.abspath(path).replace("\\", "/").split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return parts[-1]
+
+
+# ---------------------------------------------------------------------- #
+def _run_rules_on_module(
+    module: ModuleInfo,
+    rules: Sequence[Rule],
+    rule_filter: Optional[frozenset],
+) -> Tuple[List[Violation], List[Violation]]:
+    """(kept, suppressed) for one module, stale pragmas folded in."""
+    index = PragmaIndex.from_source(module.source, module.path)
+    raw: List[Violation] = []
+    active_ids: List[str] = []
+    for rule in rules:
+        ids = [
+            i for i in rule.ids if rule_filter is None or i in rule_filter
+        ]
+        if not ids:
+            continue
+        active_ids.extend(ids)
+        if not rule.applies_to(module):
+            continue
+        for violation in rule.check(module):
+            if violation.rule in ids:
+                raw.append(violation)
+
+    kept: List[Violation] = list(index.syntax_errors)
+    suppressed: List[Violation] = []
+    for violation in raw:
+        matched, reason = index.match(violation)
+        if matched:
+            suppressed.append(violation.suppress(reason))
+        else:
+            kept.append(violation)
+    # Pragmas naming ids no rule can emit, and pragmas that suppressed
+    # nothing, are themselves violations — the inventory stays honest.
+    all_known = {i for rule in rules for i in rule.ids}
+    kept.extend(known_pragma_rules(index, all_known))
+    kept.extend(index.stale(active_ids))
+    return kept, suppressed
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    rule_filter: Optional[Iterable[str]] = None,
+    wire_allowlist: Optional[str] = None,
+) -> AnalysisReport:
+    """Run the AST engine over every ``.py`` file under ``paths``."""
+    rule_set = list(rules) if rules is not None else default_rules(wire_allowlist)
+    filt = frozenset(rule_filter) if rule_filter is not None else None
+    report = AnalysisReport(
+        root=",".join(paths),
+        rule_ids=[i for r in rule_set for i in r.ids if filt is None or i in filt],
+    )
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            module = ModuleInfo.from_source(
+                source, rel=package_rel_path(path), path=path
+            )
+        except SyntaxError as exc:
+            report.violations.append(
+                Violation(
+                    path, exc.lineno or 0, exc.offset or 0, "parse-error",
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        report.files.append(path)
+        kept, suppressed = _run_rules_on_module(module, rule_set, filt)
+        report.violations.extend(kept)
+        report.suppressed.extend(suppressed)
+    report.violations.sort(key=Violation.sort_key)
+    report.suppressed.sort(key=Violation.sort_key)
+    report.engines["ast"] = (
+        f"{len(report.files)} files, {len(report.rule_ids)} rule ids"
+    )
+    return report
+
+
+def check_source(
+    source: str,
+    rel: str = "repro/sim/fixture.py",
+    rules: Optional[Sequence[Rule]] = None,
+    rule_filter: Optional[Iterable[str]] = None,
+) -> Tuple[List[Violation], List[Violation]]:
+    """Run the engine over one snippet at a virtual package path.
+
+    Returns ``(violations, suppressed)`` — the fixture-test harness.
+    """
+    rule_set = list(rules) if rules is not None else default_rules()
+    filt = frozenset(rule_filter) if rule_filter is not None else None
+    module = ModuleInfo.from_source(source, rel=rel)
+    kept, suppressed = _run_rules_on_module(module, rule_set, filt)
+    kept.sort(key=Violation.sort_key)
+    suppressed.sort(key=Violation.sort_key)
+    return kept, suppressed

@@ -1,0 +1,148 @@
+"""Inline suppression pragmas: ``# repro: allow[rule-id] reason``.
+
+A pragma on (or directly above) a violating line suppresses the named
+rule *at that location only* and must carry a reason — the suppression
+inventory is the living documentation of every intentional contract
+exception in the tree.  Two meta-violations keep the inventory honest:
+
+``pragma-syntax``
+    A pragma without a reason, or with an unknown/empty rule list.
+``stale-pragma``
+    A pragma that suppressed nothing — the violation it once excused is
+    gone (code was fixed or moved), so the pragma must go too.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.base import Violation
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class PragmaIndex:
+    """All pragmas of one module, plus their use tracking."""
+
+    path: str
+    pragmas: List[Pragma] = field(default_factory=list)
+    syntax_errors: List[Violation] = field(default_factory=list)
+    _used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_source(cls, source: str, path: str) -> "PragmaIndex":
+        index = cls(path=path)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return index
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            reason = match.group("reason").strip()
+            if not rules:
+                index.syntax_errors.append(
+                    Violation(
+                        path, line, tok.start[1], "pragma-syntax",
+                        "pragma names no rule ids: use "
+                        "'# repro: allow[rule-id] reason'",
+                    )
+                )
+                continue
+            if not reason:
+                index.syntax_errors.append(
+                    Violation(
+                        path, line, tok.start[1], "pragma-syntax",
+                        f"pragma allow[{','.join(rules)}] carries no reason; "
+                        "every suppression must say why",
+                    )
+                )
+                continue
+            index.pragmas.append(Pragma(path, line, rules, reason))
+        return index
+
+    # ------------------------------------------------------------------ #
+    def match(self, violation: Violation) -> Tuple[bool, str]:
+        """Whether a pragma on/above the violating line suppresses it.
+
+        Marks the pragma used, for stale detection.  A pragma suppresses
+        violations on its own line and on the line directly below (the
+        standalone-comment-above-the-statement placement).
+        """
+        for pragma in self.pragmas:
+            if pragma.line not in (violation.line, violation.line - 1):
+                continue
+            if violation.rule in pragma.rules:
+                self._used.add((pragma.line, violation.rule))
+                return True, pragma.reason
+        return False, ""
+
+    def stale(self, active_rule_ids: Iterable[str]) -> List[Violation]:
+        """Pragmas (per rule id) that suppressed nothing this run.
+
+        Only ids in ``active_rule_ids`` are considered, so a filtered
+        ``--rules`` run never misreports pragmas for rules it skipped.
+        """
+        active = set(active_rule_ids)
+        out: List[Violation] = []
+        for pragma in self.pragmas:
+            for rule in pragma.rules:
+                if rule not in active:
+                    continue
+                if (pragma.line, rule) in self._used:
+                    continue
+                out.append(
+                    Violation(
+                        self.path, pragma.line, 0, "stale-pragma",
+                        f"pragma allow[{rule}] suppresses nothing on this "
+                        "line; remove it (the violation it excused is gone)",
+                    )
+                )
+        return out
+
+
+def known_pragma_rules(index: PragmaIndex, known: Iterable[str]) -> List[Violation]:
+    """``pragma-syntax`` violations for rule ids no rule can ever emit."""
+    known_set = set(known)
+    out: List[Violation] = []
+    for pragma in index.pragmas:
+        for rule in pragma.rules:
+            if rule not in known_set:
+                out.append(
+                    Violation(
+                        index.path, pragma.line, 0, "pragma-syntax",
+                        f"pragma names unknown rule id {rule!r}",
+                    )
+                )
+    return out
+
+
+# Meta ids the engine itself emits; valid in reports but not in pragmas.
+META_RULE_IDS = ("pragma-syntax", "stale-pragma")

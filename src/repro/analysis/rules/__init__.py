@@ -1,0 +1,36 @@
+"""Rule registry: one module per enforced contract."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.base import Rule
+from repro.analysis.rules.accounting import AccountingKindRule
+from repro.analysis.rules.aliasing import ArenaAliasingRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.forksafety import ForkSafetyRule
+from repro.analysis.rules.hygiene import ApiHygieneRule
+from repro.analysis.rules.wireboundary import WireBoundaryRule
+
+
+def default_rules(wire_allowlist: Optional[str] = None) -> List[Rule]:
+    """The production rule set, in catalogue order."""
+    return [
+        DeterminismRule(),
+        ArenaAliasingRule(),
+        WireBoundaryRule(allowlist_path=wire_allowlist),
+        ForkSafetyRule(),
+        AccountingKindRule(),
+        ApiHygieneRule(),
+    ]
+
+
+__all__ = [
+    "AccountingKindRule",
+    "ApiHygieneRule",
+    "ArenaAliasingRule",
+    "DeterminismRule",
+    "ForkSafetyRule",
+    "WireBoundaryRule",
+    "default_rules",
+]

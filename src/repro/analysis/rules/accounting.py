@@ -1,0 +1,96 @@
+"""Rule 5 — accounting: every charged byte names a known traffic kind.
+
+The accounting invariant — ``sum(round comm_bytes) + initial_dispatch ==
+accountant.total_bytes`` (ROADMAP "Comm accounting invariants") — is
+only auditable because every ``CommVolumeAccountant.record`` call tags
+its bytes with a ``kind`` from a closed vocabulary; reports, the
+``--verify-accounting`` CLI check and the byte-frontier benchmarks all
+group by it.  A free-typed kind silently splits a traffic class in two
+("broadcast" vs "bcast") and the books stop reconciling.
+
+Id: ``acct-kind``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import (
+    ModuleInfo,
+    Rule,
+    RUNTIME_SUBPACKAGES,
+    Violation,
+    call_name_chain,
+)
+
+#: The closed vocabulary of traffic kinds (see CommVolumeAccountant).
+KNOWN_KINDS = frozenset(
+    {
+        "initial_dispatch",  # model dispatch at cluster construction
+        "partial_sync",      # HADFL's selected-set ring gossip
+        "broadcast",         # non-blocking aggregate broadcast
+        "resync",            # dense re-sync of a stale delta reference
+        "fallback_dense",    # sync_failure_policy dense re-dispatch
+        "gossip_sync",       # decentralised-FedAvg neighbour gossip
+        "ring_allreduce",    # distributed-SGD baseline collective
+        "upload",            # centralised baseline device -> server
+        "download",          # centralised baseline server -> device
+        "inter_group_sync",  # grouped HADFL cross-group ring
+        "intra_group_sync",  # grouped HADFL within-group ring
+    }
+)
+
+#: Receiver names that identify a *volume* accountant (``trace.record``
+#: is the event trace, a different vocabulary).
+ACCOUNTANT_RECEIVERS = {"volume", "accountant"}
+
+
+class AccountingKindRule(Rule):
+    name = "accounting"
+    ids = ("acct-kind",)
+    subpackages = RUNTIME_SUBPACKAGES
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name_chain(node.func)
+            if len(chain) < 2 or chain[-1] != "record":
+                continue
+            if chain[-2] not in ACCOUNTANT_RECEIVERS:
+                continue
+            kind = _kind_argument(node)
+            if kind is None:
+                yield Violation(
+                    module.path, node.lineno, node.col_offset,
+                    "acct-kind",
+                    "accountant charge carries no kind; every record() "
+                    "names its traffic kind (third positional or kind=)",
+                )
+            elif not isinstance(kind, ast.Constant) or not isinstance(kind.value, str):
+                yield Violation(
+                    module.path, node.lineno, node.col_offset,
+                    "acct-kind",
+                    "accountant kind must be a string literal from the "
+                    "known set so reports reconcile; dynamic kinds are "
+                    "unauditable",
+                )
+            elif kind.value not in KNOWN_KINDS:
+                known = ", ".join(sorted(KNOWN_KINDS))
+                yield Violation(
+                    module.path, node.lineno, node.col_offset,
+                    "acct-kind",
+                    f"unknown traffic kind {kind.value!r}; known kinds: "
+                    f"{known} (extend KNOWN_KINDS in "
+                    "repro/analysis/rules/accounting.py deliberately)",
+                )
+
+
+def _kind_argument(node: ast.Call) -> Optional[ast.AST]:
+    for kw in node.keywords:
+        if kw.arg == "kind":
+            return kw.value
+    if len(node.args) >= 3:
+        return node.args[2]
+    return None

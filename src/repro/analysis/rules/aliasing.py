@@ -1,0 +1,160 @@
+"""Rule 2 — arena aliasing: views are written through, never replaced.
+
+Since PR 1 every ``Parameter.data`` / buffer / ``.grad`` is a reshaped
+*view* into one contiguous fp64 arena vector (ROADMAP "Arena layout" /
+"Grad arena").  Rebinding the attribute (``param.data = new_array``)
+silently detaches the parameter from the arena: ``get_params`` stops
+seeing its updates, the fused optimizers write stale memory, and the
+shared-memory executor ships garbage — with every test still passing on
+small models.  Mutation must go *through* the view (``[:] =``, ``+=``,
+``fill``), and whatever is written in must not have been narrowed to a
+lossier dtype on the way.
+
+Ids
+---
+``arena-rebind``
+    Assignment to a ``.data`` / ``.grad`` attribute outside the
+    constructor of the owning class.  ``x.grad = None`` (the documented
+    drop-gradient API) is allowed; everything else needs the arena
+    binder or an in-place write.
+``arena-dtype``
+    In-place store into a ``.data``/``.grad`` view whose right-hand side
+    was narrowed by ``astype``/``asarray(dtype=...)``/``np.float32`` —
+    the fp64 view silently absorbs fp32/fp16-rounded values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.base import ModuleInfo, Rule, Violation, call_name_chain
+
+ARENA_ATTRS = {"data", "grad"}
+NARROW_DTYPES = {"float32", "float16", "single", "half", "int8", "int16", "int32"}
+CONSTRUCTOR_NAMES = {"__init__", "__post_init__", "__new__"}
+
+
+class ArenaAliasingRule(Rule):
+    name = "arena-aliasing"
+    ids = ("arena-rebind", "arena-dtype")
+    subpackages = None  # the aliasing contract holds everywhere in repro
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        yield from _Visitor(module).run()
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.out: list = []
+        self._func_stack: list = []
+
+    def run(self) -> Iterator[Violation]:
+        self.visit(self.module.tree)
+        return iter(self.out)
+
+    # ------------------------------------------------------------------ #
+    def _visit_func(self, node) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def _in_constructor_on_self(self, target: ast.Attribute) -> bool:
+        """``self.data = ...`` inside ``__init__`` is the initial binding,
+        not a rebind — there is no arena view to detach yet."""
+        return (
+            bool(self._func_stack)
+            and self._func_stack[-1] in CONSTRUCTOR_NAMES
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        )
+
+    # ------------------------------------------------------------------ #
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node.value, node)
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.AST, value: ast.AST, node: ast.AST) -> None:
+        # Tuple/list unpacking: check each element.
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, value, node)
+            return
+        if isinstance(target, ast.Attribute) and target.attr in ARENA_ATTRS:
+            if target.attr == "grad" and _is_none(value):
+                return  # documented drop-gradient API
+            if self._in_constructor_on_self(target):
+                return
+            self.out.append(
+                Violation(
+                    self.module.path, node.lineno, node.col_offset,
+                    "arena-rebind",
+                    f"rebinding .{target.attr} detaches it from the arena "
+                    "view; write in place ([:] =, +=, fill) or go through "
+                    "the arena binder",
+                )
+            )
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Attribute) and base.attr in ARENA_ATTRS:
+                narrowed = _narrowing_call(value)
+                if narrowed is not None:
+                    self.out.append(
+                        Violation(
+                            self.module.path, node.lineno, node.col_offset,
+                            "arena-dtype",
+                            f"storing a {narrowed}-narrowed result into the "
+                            f"fp64 .{base.attr} view silently keeps the "
+                            "rounded values; keep the pipeline fp64 (wire "
+                            "formats are the only sanctioned narrowing)",
+                        )
+                    )
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _narrowing_call(node: ast.AST) -> Optional[str]:
+    """The narrow dtype name if ``node`` evidently narrows, else None."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        chain = call_name_chain(sub.func)
+        if not chain:
+            continue
+        tail = chain[-1]
+        if tail == "astype" and sub.args:
+            dtype = _dtype_name(sub.args[0])
+            if dtype in NARROW_DTYPES:
+                return dtype
+        elif tail in NARROW_DTYPES and len(chain) >= 2:
+            # np.float32(x) and friends
+            return tail
+        elif tail in {"asarray", "array", "ascontiguousarray"}:
+            for kw in sub.keywords:
+                if kw.arg == "dtype":
+                    dtype = _dtype_name(kw.value)
+                    if dtype in NARROW_DTYPES:
+                        return dtype
+    return None
+
+
+def _dtype_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    chain = call_name_chain(node)
+    if chain:
+        return chain[-1]
+    return None

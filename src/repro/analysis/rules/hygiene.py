@@ -1,0 +1,74 @@
+"""Rule 6 — API hygiene: public signatures in comm/sim stay annotated.
+
+``repro.comm`` and ``repro.sim`` are the extension surface other layers
+(and the mypy subset gate, see :mod:`repro.analysis.typecheck`) build
+against: wire formats, executors, network models, failure injectors are
+all designed to be subclassed.  A public function that loses its
+annotations drops out of type checking silently — mypy treats untyped
+defs as ``Any`` throughout.  This AST check is the always-on guard; the
+mypy engine (run in CI, where mypy is installed) is the stronger second
+engine over the same subset.
+
+Id: ``api-annotations``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import ModuleInfo, Rule, Violation
+
+SUBSET = frozenset({"comm", "sim"})
+
+
+class ApiHygieneRule(Rule):
+    name = "api-hygiene"
+    ids = ("api-annotations",)
+    subpackages = SUBSET
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        for func, owner in _public_functions(module.tree):
+            missing = _missing_annotations(func, is_method=owner is not None)
+            if missing:
+                where = f"{owner}.{func.name}" if owner else func.name
+                yield Violation(
+                    module.path, func.lineno, func.col_offset,
+                    "api-annotations",
+                    f"public function {where} is missing annotations for: "
+                    f"{', '.join(missing)}",
+                )
+
+
+def _public_functions(tree: ast.AST):
+    """Module-level and public-class methods with public names."""
+    for node in tree.body:  # type: ignore[attr-defined]
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node, None
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not item.name.startswith("_"):
+                        yield item, node.name
+
+
+def _missing_annotations(func, is_method: bool) -> List[str]:
+    missing: List[str] = []
+    args = func.args
+    positional = args.posonlyargs + args.args
+    for index, arg in enumerate(positional):
+        if is_method and index == 0 and arg.arg in {"self", "cls"}:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing

@@ -1,0 +1,101 @@
+"""The second engine: mypy over the comm/sim core-module subset.
+
+The AST rule ``api-annotations`` guards public signatures with zero
+dependencies; mypy — when installed (CI installs it; the dev container
+may not have it) — checks the *whole* subset, including private and
+nested defs, via ``--disallow-untyped-defs`` / ``--disallow-incomplete-
+defs``.  Output is filtered to the annotation-completeness error codes
+so an unrelated mypy upgrade can never fail the contract gate: the gate
+enforces exactly one thing, "the subset stays fully annotated".
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from typing import List, Optional, Tuple
+
+from repro.analysis.base import Violation
+
+#: Package-relative directories the mypy gate covers.
+MYPY_SUBSET = ("repro/comm", "repro/sim")
+
+#: Error codes that fail the gate — annotation completeness only.
+ANNOTATION_CODES = frozenset({"no-untyped-def"})
+
+_LINE_RE = re.compile(
+    r"^(?P<path>[^:]+):(?P<line>\d+):(?:(?P<col>\d+):)?\s*error:\s*"
+    r"(?P<msg>.*?)\s*\[(?P<code>[a-z0-9-]+)\]\s*$"
+)
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy.api  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def run_mypy(src_root: str) -> Tuple[str, List[Violation]]:
+    """``(status, violations)`` of the mypy subset gate.
+
+    ``src_root`` is the directory containing the ``repro`` package
+    (normally ``src``).  Status is ``ok``, ``unavailable``, or
+    ``error: ...`` (mypy crashed — reported, not fatal: the AST engine
+    remains the floor and CI surfaces the message).
+    """
+    if not mypy_available():
+        return "unavailable", []
+    import mypy.api
+
+    targets = [os.path.join(src_root, *sub.split("/")) for sub in MYPY_SUBSET]
+    missing = [t for t in targets if not os.path.isdir(t)]
+    if missing:
+        return f"error: subset dirs not found: {missing}", []
+    with tempfile.TemporaryDirectory(prefix="repro-mypy-") as cache:
+        args = targets + [
+            "--disallow-untyped-defs",
+            "--disallow-incomplete-defs",
+            "--ignore-missing-imports",
+            "--follow-imports=silent",
+            "--no-error-summary",
+            "--show-error-codes",
+            "--no-color-output",
+            "--cache-dir", cache,
+        ]
+        try:
+            stdout, stderr, _exit = mypy.api.run(args)
+        except Exception as exc:  # pragma: no cover - defensive
+            return f"error: mypy crashed: {exc}", []
+    if stderr.strip() and not stdout.strip():
+        return f"error: {stderr.strip().splitlines()[0]}", []
+    violations = []
+    for line in stdout.splitlines():
+        match = _LINE_RE.match(line.strip())
+        if match is None:
+            continue
+        if match.group("code") not in ANNOTATION_CODES:
+            continue
+        violations.append(
+            Violation(
+                match.group("path"),
+                int(match.group("line")),
+                int(match.group("col") or 0),
+                f"mypy-{match.group('code')}",
+                match.group("msg"),
+            )
+        )
+    return "ok", violations
+
+
+def subset_src_root(paths: List[str]) -> Optional[str]:
+    """Infer the ``src`` root (parent of ``repro``) from CLI paths."""
+    for path in paths:
+        absolute = os.path.abspath(path).replace("\\", "/")
+        parts = absolute.split("/")
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[:index]) or "/"
+    return None

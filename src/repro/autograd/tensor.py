@@ -191,6 +191,7 @@ class Tensor:
             )
         if self.grad is not None:
             view[...] = self.grad
+            # repro: allow[arena-rebind] bind_grad IS the arena binder
             self.grad = view
         self._grad_view = view
 
@@ -223,8 +224,10 @@ class Tensor:
             view = self._grad_view
             if view is not None:
                 view[...] = grad
+                # repro: allow[arena-rebind] first fill adopts the bound view
                 self.grad = view
             else:
+                # repro: allow[arena-rebind] unbound tensor: first allocation
                 self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad

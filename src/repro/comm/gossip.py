@@ -10,18 +10,18 @@ live here.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.allreduce import ring_allreduce_detailed
+from repro.comm.allreduce import AllReduceStats, ring_allreduce_detailed
 from repro.comm.topology import Topology
 from repro.comm.wire import WireSpec
 
 
 def gossip_average(
     vectors: Sequence[np.ndarray],
-    weights: Sequence[float] = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> np.ndarray:
     """Weighted average of the selected devices' parameter vectors.
 
@@ -48,8 +48,8 @@ def gossip_average(
 def gossip_ring_exchange(
     vectors: Sequence[np.ndarray],
     wire: WireSpec = None,
-    reference=None,
-) -> tuple:
+    reference: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, AllReduceStats]:
     """Scatter-gather averaging with explicit ring schedule + accounting.
 
     Every exchanged segment crosses the wire through ``wire`` (cast on

@@ -73,7 +73,7 @@ class ParamArena:
         module: Module,
         include_buffers: bool = True,
         bind_grads: bool = True,
-    ):
+    ) -> None:
         self.module = module
         self.include_buffers = include_buffers
         params = list(module.named_parameters())
@@ -89,6 +89,7 @@ class ParamArena:
             size = int(param.data.size)
             view = self.flat[cursor : cursor + size].reshape(param.data.shape)
             view[...] = param.data
+            # repro: allow[arena-rebind] arena construction installs the views
             param.data = view
             self._param_entries.append((param, view))
             cursor += size
@@ -143,6 +144,7 @@ class ParamArena:
         for param, view in self._param_entries:
             if param.data is not view:
                 view[...] = param.data
+                # repro: allow[arena-rebind] repair path re-installs the view
                 param.data = view
         for owner, local, view in self._buffer_entries:
             if owner._buffers[local] is not view:
@@ -260,7 +262,7 @@ class FlatParamCodec:
     generic path walks the tree but also writes in place.
     """
 
-    def __init__(self, module: Module, include_buffers: bool = True):
+    def __init__(self, module: Module, include_buffers: bool = True) -> None:
         self.include_buffers = include_buffers
         self._module = module
         params = list(module.named_parameters())
@@ -297,7 +299,7 @@ class FlatParamCodec:
         return get_wire_format(wire).nbytes(self.num_scalars)
 
     # ------------------------------------------------------------------ #
-    def _arena_for(self, module: Module):
+    def _arena_for(self, module: Module) -> Optional[ParamArena]:
         """The module's arena, when it can serve this codec's layout."""
         if module is not self._module:
             return None

@@ -110,7 +110,7 @@ class Int8SRWireFormat(WireFormat):
     LEVELS = 127
     SCALE_NBYTES = 8  # the fp64 per-chunk scale ships uncompressed
 
-    def __init__(self, chunk_size: int = 1024, seed: int = 0, name: str = "int8_sr"):
+    def __init__(self, chunk_size: int = 1024, seed: int = 0, name: str = "int8_sr") -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if seed < 0:
@@ -186,7 +186,7 @@ class QSGDWireFormat(WireFormat):
         norm: str = "max",
         seed: int = 0,
         name: Optional[str] = None,
-    ):
+    ) -> None:
         if not 2 <= bits <= 8:
             raise ValueError(f"bits must be in [2, 8], got {bits}")
         if bucket_size < 1:
@@ -283,7 +283,7 @@ class TopKWireFormat(WireFormat):
     HEADER_NBYTES = 8  # element count + flags
     PAIR_NBYTES = 4 + 4  # int32 index + fp32 value
 
-    def __init__(self, fraction: float, name: Optional[str] = None):
+    def __init__(self, fraction: float, name: Optional[str] = None) -> None:
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         self.fraction = float(fraction)

@@ -109,7 +109,7 @@ class FaultTolerantRingSync:
         wire: WireSpec = None,
         link_faults: Optional[LinkFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         if wait_time <= 0:
             raise ValueError(f"wait_time must be positive, got {wait_time}")
         self.network = network

@@ -14,11 +14,18 @@ from typing import Dict, List, Optional, Sequence
 import networkx as nx
 import numpy as np
 
+#: Seed for the rng-less convenience fallbacks below.  An OS-entropy
+#: generator here would make two identical calls return different
+#: topologies — a silent hole in the fixed-seed reproducibility
+#: contract.  All in-repo callers pass an explicit ``rng``; the fallback
+#: only serves interactive use, where a stable draw is strictly better.
+_FALLBACK_SEED = 0x48AD
+
 
 class Topology:
     """A directed communication graph over device ids."""
 
-    def __init__(self, graph: nx.DiGraph, kind: str):
+    def __init__(self, graph: nx.DiGraph, kind: str) -> None:
         self.graph = graph
         self.kind = kind
 
@@ -79,10 +86,12 @@ def directed_ring(
     rng: Optional[np.random.Generator] = None,
     shuffle: bool = True,
 ) -> Topology:
-    """A directed ring over ``device_ids``; order randomised by default.
+    """A directed ring over ``device_ids``; order randomised by ``rng``.
 
-    With one node the "ring" is a self-loop-free single vertex (no
-    transfers needed); with two it is the bidirectional pair.
+    Without an ``rng`` the shuffle uses a fixed-seed generator, so the
+    call is deterministic (pass a seeded ``rng`` to vary draws across
+    rounds).  With one node the "ring" is a self-loop-free single vertex
+    (no transfers needed); with two it is the bidirectional pair.
     """
     ids = list(device_ids)
     if not ids:
@@ -92,7 +101,7 @@ def directed_ring(
     if shuffle and rng is not None:
         ids = list(rng.permutation(ids))
     elif shuffle:
-        ids = list(np.random.default_rng().permutation(ids))
+        ids = list(np.random.default_rng(_FALLBACK_SEED).permutation(ids))
     graph = nx.DiGraph()
     graph.add_nodes_from(int(i) for i in ids)
     if len(ids) > 1:
@@ -118,15 +127,16 @@ def random_regular_topology(
 ) -> Topology:
     """Random ``degree``-regular connected gossip graph (as digraph).
 
-    Regenerates until strongly connected (regular graphs of degree ≥ 2
-    almost always are).
+    Without an ``rng`` a fixed-seed generator is used (deterministic
+    repeated calls).  Regenerates until strongly connected (regular
+    graphs of degree ≥ 2 almost always are).
     """
     ids = [int(i) for i in device_ids]
     if degree >= len(ids):
         raise ValueError(f"degree {degree} must be < number of nodes {len(ids)}")
     if degree * len(ids) % 2:
         raise ValueError("degree * num_nodes must be even for a regular graph")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(_FALLBACK_SEED)
     for _ in range(max_retries):
         seed = int(rng.integers(0, 2**31 - 1))
         base = nx.random_regular_graph(degree, len(ids), seed=seed)

@@ -52,7 +52,7 @@ class VolumeRecord:
 class CommVolumeAccountant:
     """Counts every simulated byte by sender and traffic kind."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._records: list[VolumeRecord] = []
         self._by_kind: Dict[str, int] = defaultdict(int)
         self._by_device: Dict[int, int] = defaultdict(int)

@@ -176,7 +176,7 @@ class CastWireFormat(WireFormat):
     numeric perturbation anywhere it is applied.
     """
 
-    def __init__(self, name: str, dtype) -> None:
+    def __init__(self, name: str, dtype: "np.typing.DTypeLike") -> None:
         self.name = name
         self.dtype = np.dtype(dtype)
         if self.dtype.kind != "f":

@@ -30,6 +30,7 @@ def kaiming_normal(
     shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
     """He initialisation for ReLU networks: N(0, sqrt(2/fan_in))."""
+    # repro: allow[det-unseeded-rng] a fixed fallback seed would correlate unseeded layers
     rng = rng or np.random.default_rng()
     fan_in, _ = _fan_in_out(shape)
     std = np.sqrt(2.0 / fan_in)
@@ -39,6 +40,7 @@ def kaiming_normal(
 def kaiming_uniform(
     shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
+    # repro: allow[det-unseeded-rng] a fixed fallback seed would correlate unseeded layers
     rng = rng or np.random.default_rng()
     fan_in, _ = _fan_in_out(shape)
     bound = np.sqrt(6.0 / fan_in)
@@ -48,6 +50,7 @@ def kaiming_uniform(
 def xavier_uniform(
     shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
 ) -> np.ndarray:
+    # repro: allow[det-unseeded-rng] a fixed fallback seed would correlate unseeded layers
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fan_in_out(shape)
     bound = np.sqrt(6.0 / (fan_in + fan_out))

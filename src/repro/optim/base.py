@@ -103,6 +103,7 @@ def _pack_private(params: List[Parameter]) -> Optional[np.ndarray]:
         size = int(param.data.size)
         view = flat[cursor : cursor + size].reshape(param.data.shape)
         view[...] = param.data
+        # repro: allow[arena-rebind] private pack makes the arena's own moves
         param.data = view
         param.bind_grad(grad_flat[cursor : cursor + size].reshape(view.shape))
         cursor += size

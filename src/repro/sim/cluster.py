@@ -8,7 +8,7 @@ exactly as in the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -101,19 +101,19 @@ class SimulatedCluster:
         test_set: Dataset,
         specs: Sequence[DeviceSpec],
         batch_size: int = 64,
-        partition="iid",
+        partition: Union[str, Sequence[Sequence[int]]] = "iid",
         dirichlet_alpha: float = 0.5,
         optimizer_factory: Optional[Callable[[list], Optimizer]] = None,
         lr_schedule: Optional[LRSchedule] = None,
         network: Optional[NetworkModel] = None,
         failure_injector: Optional[FailureInjector] = None,
         seed: int = 0,
-        executor="serial",
+        executor: Union[str, LocalExecutor, None] = "serial",
         executor_workers: Optional[int] = None,
         wire: WireSpec = None,
         link_faults: Optional[LinkFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         if not specs:
             raise ValueError("need at least one device spec")
         ids = [s.device_id for s in specs]
@@ -195,7 +195,11 @@ class SimulatedCluster:
             self.devices.append(device)
 
     # ------------------------------------------------------------------ #
-    def _make_shards(self, partition, dirichlet_alpha) -> List[np.ndarray]:
+    def _make_shards(
+        self,
+        partition: Union[str, Sequence[Sequence[int]]],
+        dirichlet_alpha: float,
+    ) -> List[np.ndarray]:
         k = len(self.specs)
         if isinstance(partition, str):
             part_rng = np.random.default_rng(

@@ -54,7 +54,7 @@ class DeviceSpec:
     jitter: float = 0.0
     power_drift: Optional[Callable[[float], float]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.power <= 0:
             raise ValueError(f"power must be positive, got {self.power}")
         if self.base_step_time <= 0:
@@ -92,7 +92,7 @@ class Device:
         lr_schedule: Optional[LRSchedule] = None,
         loss_fn: Optional[Module] = None,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         self.spec = spec
         self.model = model
         self.optimizer = optimizer

@@ -19,7 +19,7 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -45,7 +45,7 @@ class Simulator:
     runs fully deterministic — a property the reproduction tests rely on.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[EventHandle] = []
         self._sequence = itertools.count()

@@ -34,10 +34,15 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
-from typing import Dict, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 from repro.parallel.tasks import LocalTrainTask, execute_task
 from repro.sim.device import LocalTrainResult
+
+if TYPE_CHECKING:
+    # Annotation-only: a runtime import would close the cluster/executor
+    # import cycle.
+    from repro.sim.cluster import SimulatedCluster
 
 # repro.parallel.process_pool is imported lazily inside ProcessExecutor:
 # it needs repro.sim.device, so a module-level import here would close an
@@ -57,14 +62,14 @@ class LocalExecutor:
 
     name = "base"
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
 
     # ------------------------------------------------------------------ #
     def run_tasks(
-        self, cluster, tasks: Sequence[LocalTrainTask]
+        self, cluster: "SimulatedCluster", tasks: Sequence[LocalTrainTask]
     ) -> Dict[int, LocalTrainResult]:
         """Execute every task; return results keyed by device id.
 
@@ -95,10 +100,10 @@ class LocalExecutor:
         return max(1, min(num_tasks, os.cpu_count() or 1))
 
     # ------------------------------------------------------------------ #
-    def __enter__(self):
+    def __enter__(self) -> "LocalExecutor":
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:
         self.close()
         return False
 
@@ -111,7 +116,9 @@ class SerialExecutor(LocalExecutor):
 
     name = "serial"
 
-    def run_tasks(self, cluster, tasks):
+    def run_tasks(
+        self, cluster: "SimulatedCluster", tasks: Sequence[LocalTrainTask]
+    ) -> Dict[int, LocalTrainResult]:
         self._check_unique(tasks)
         results: Dict[int, LocalTrainResult] = {}
         for task in tasks:
@@ -131,7 +138,7 @@ class ThreadExecutor(LocalExecutor):
 
     name = "thread"
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None) -> None:
         super().__init__(workers)
         self._pool: Optional[_ThreadPool] = None
         self._pool_size = 0
@@ -145,7 +152,9 @@ class ThreadExecutor(LocalExecutor):
             self._pool_size = size
         return self._pool
 
-    def run_tasks(self, cluster, tasks):
+    def run_tasks(
+        self, cluster: "SimulatedCluster", tasks: Sequence[LocalTrainTask]
+    ) -> Dict[int, LocalTrainResult]:
         if not tasks:
             return {}
         self._check_unique(tasks)
@@ -177,7 +186,7 @@ class ProcessExecutor(LocalExecutor):
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None) -> None:
         super().__init__(workers)
         self._pool = None
         # Strong references to the devices the pool was forked for: the
@@ -187,7 +196,9 @@ class ProcessExecutor(LocalExecutor):
         self._pool_devices: Optional[list] = None
         self._warned = False
 
-    def run_tasks(self, cluster, tasks):
+    def run_tasks(
+        self, cluster: "SimulatedCluster", tasks: Sequence[LocalTrainTask]
+    ) -> Dict[int, LocalTrainResult]:
         from repro.parallel.process_pool import ForkedDevicePool, fork_available
 
         if not tasks:

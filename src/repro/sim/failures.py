@@ -29,6 +29,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+#: Seed for :meth:`FailureInjector.random`'s rng-less fallback — an
+#: OS-entropy generator would make identical calls draw different fault
+#: schedules, silently breaking the fixed-seed reproducibility contract.
+#: In-repo callers always pass an explicit ``rng``.
+_FALLBACK_SEED = 0x48AD
+
 
 @dataclass(frozen=True)
 class FailureWindow:
@@ -38,7 +44,7 @@ class FailureWindow:
     down_at: float
     up_at: float = float("inf")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.down_at < 0:
             raise ValueError(f"down_at must be non-negative, got {self.down_at}")
         if self.up_at <= self.down_at:
@@ -60,7 +66,7 @@ class SlowdownWindow:
     end: float
     factor: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.start < 0:
             raise ValueError(f"start must be non-negative, got {self.start}")
         if self.end <= self.start:
@@ -87,7 +93,7 @@ class SlowdownDrift:
         failures: "FailureInjector",
         device_id: int,
         base_drift: Optional[Callable[[float], float]] = None,
-    ):
+    ) -> None:
         self.failures = failures
         self.device_id = device_id
         self.base_drift = base_drift
@@ -100,7 +106,7 @@ class SlowdownDrift:
 class FailureInjector:
     """Answers "is device d alive (and how slow) at time t?" from windows."""
 
-    def __init__(self, windows: Sequence[FailureWindow] = ()):
+    def __init__(self, windows: Sequence[FailureWindow] = ()) -> None:
         self._windows: Dict[int, List[FailureWindow]] = {}
         self._slowdowns: Dict[int, List[SlowdownWindow]] = {}
         # Lazily built per-device merged disjoint (down, up) intervals,
@@ -220,7 +226,9 @@ class FailureInjector:
         """Poisson faults: each device crashes at ``failure_rate`` per unit
         time (down for an exponential ``mean_downtime``) and, independently,
         enters ``slowdown_factor``-times-degraded straggler windows at
-        ``slowdown_rate`` (lasting an exponential ``mean_slowdown``)."""
+        ``slowdown_rate`` (lasting an exponential ``mean_slowdown``).
+        Without an ``rng`` a fixed-seed generator is used, so repeated
+        calls draw the same schedule."""
         if failure_rate < 0 or mean_downtime <= 0:
             raise ValueError("failure_rate must be >= 0, mean_downtime > 0")
         if slowdown_rate < 0 or mean_slowdown <= 0 or slowdown_factor <= 0:
@@ -228,7 +236,7 @@ class FailureInjector:
                 "slowdown_rate must be >= 0, mean_slowdown and "
                 "slowdown_factor > 0"
             )
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(_FALLBACK_SEED)
         injector = cls()
         for device in device_ids:
             t = 0.0

@@ -50,7 +50,7 @@ class LinkFlapWindow:
     down_at: float
     up_at: float = float("inf")
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.down_at < 0:
             raise ValueError(f"down_at must be non-negative, got {self.down_at}")
         if self.up_at <= self.down_at:
@@ -85,7 +85,7 @@ class LinkFaultModel:
         latency_jitter: float = 0.0,
         seed: int = 0,
         link_drop_prob: Optional[Dict[Tuple[int, int], float]] = None,
-    ):
+    ) -> None:
         if not 0.0 <= drop_prob < 1.0:
             raise ValueError(f"drop_prob must be in [0, 1), got {drop_prob}")
         if latency_jitter < 0:
@@ -189,7 +189,7 @@ class RetryPolicy:
     base_timeout: float = 0.05
     backoff_factor: float = 2.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
@@ -249,7 +249,7 @@ class ReliableDelivery:
         network: NetworkModel,
         faults: Optional[LinkFaultModel] = None,
         policy: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         self.network = network
         self.faults = faults
         self.policy = policy or DEFAULT_RETRY_POLICY

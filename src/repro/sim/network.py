@@ -19,7 +19,12 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+if TYPE_CHECKING:
+    # Annotation-only: ``repro.comm`` imports this module (via
+    # ``ring_repair``), so a runtime import would be circular.
+    from repro.comm.wire import WireFormat
 
 
 def _default_bytes_per_scalar() -> int:
@@ -33,7 +38,9 @@ def _default_bytes_per_scalar() -> int:
     return DEFAULT_WIRE.bytes_per_scalar
 
 
-def align_network_granularity(network: "NetworkModel", wire) -> "NetworkModel":
+def align_network_granularity(
+    network: "NetworkModel", wire: "WireFormat"
+) -> "NetworkModel":
     """``network`` with its segment granularity matched to ``wire``.
 
     Granularity is not an independent knob — it IS the wire's scalar
@@ -95,7 +102,7 @@ class NetworkModel:
     bandwidth: float = 2e9
     bytes_per_scalar: int = field(default_factory=_default_bytes_per_scalar)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.latency < 0:
             raise ValueError(f"latency must be non-negative, got {self.latency}")
         if self.bandwidth <= 0:
@@ -231,7 +238,7 @@ class HeterogeneousNetworkModel(NetworkModel):
     device_bandwidth: Dict[int, float] = field(default_factory=dict)
     device_latency: Dict[int, float] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         for device, bw in self.device_bandwidth.items():
             if bw <= 0:

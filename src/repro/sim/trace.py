@@ -28,7 +28,7 @@ class TraceRecorder:
     examples print them to show what the framework is doing.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._events: List[TraceEvent] = []
 
