@@ -1,0 +1,234 @@
+"""Fleet benchmark: stacked replica evaluation + batched training bursts.
+
+Two measurements per fleet size D ∈ {4, 8, 32}, on architecture-identical
+MLP replicas:
+
+* **Stacked evaluation** — score every live replica on a probe set
+  (per-replica telemetry, the selection-policy regime) three ways: the
+  pre-fleet per-device loop through the shared eval model
+  (``evaluate_params(get_params())`` codec round-trips), the zero-copy
+  per-device loop (``evaluate_device``), and one batched forward over a
+  ``(D, n)`` parameter stack (``evaluate_devices``).  All three are
+  bitwise identical; the batched path must be ≥ 2× the codec loop at
+  D ≥ 8 (the acceptance floor, enforced in full mode only).
+* **Training bursts** — one round of fixed-step local-training bursts
+  through ``executor="serial"`` vs ``executor="fleet"`` (the replica-
+  batched kernels), with the bitwise parity contract spot-checked on
+  the final parameters.
+
+Writes ``benchmarks/results/fleet.json`` and the repo-root trajectory
+artefact ``BENCH_fleet.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.parallel import LocalTrainTask  # noqa: E402
+
+FLEET_SIZES = (4, 8, 32)
+PROBE_SAMPLES = 16  # per-replica telemetry probes are small by design
+EVAL_FLOOR = 2.0  # acceptance: batched >= 2x the codec loop at D >= 8
+
+
+def _make_cluster(executor: str, fleet_size: int):
+    config = ExperimentConfig(
+        model="mlp",
+        num_train=512,
+        num_test=PROBE_SAMPLES,
+        image_size=8,
+        batch_size=32,
+        power_ratio=tuple([1.0] * fleet_size),
+        momentum=0.9,
+        seed=1,
+        executor=executor,
+    )
+    return config.make_cluster()
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-seconds over ``repeats`` runs (noise only inflates)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# Stacked evaluation
+# --------------------------------------------------------------------- #
+def _bench_eval(fleet_size: int, repeats: int) -> dict:
+    cluster = _make_cluster("serial", fleet_size)
+    devices = list(cluster.devices)
+
+    def codec_loop():
+        return {
+            d.device_id: cluster.evaluate_params(d.get_params())
+            for d in devices
+        }
+
+    def arena_loop():
+        return {
+            d.device_id: cluster.evaluate_device(d.device_id)
+            for d in devices
+        }
+
+    def batched():
+        return cluster.evaluate_devices()
+
+    # Parity first (also warms every path and the fleet caches).
+    reference = codec_loop()
+    assert arena_loop() == reference, "arena loop diverged from codec loop"
+    assert batched() == reference, "batched eval diverged from codec loop"
+
+    seconds = {
+        "codec_loop": _best_of(codec_loop, repeats),
+        "arena_loop": _best_of(arena_loop, repeats),
+        "batched": _best_of(batched, repeats),
+    }
+    cluster.close()
+    return {
+        "fleet_size": fleet_size,
+        "seconds": {k: round(v, 6) for k, v in seconds.items()},
+        "speedup_vs_codec_loop": round(
+            seconds["codec_loop"] / seconds["batched"], 4
+        ),
+        "speedup_vs_arena_loop": round(
+            seconds["arena_loop"] / seconds["batched"], 4
+        ),
+        "parity": "bitwise",
+    }
+
+
+# --------------------------------------------------------------------- #
+# Training bursts
+# --------------------------------------------------------------------- #
+def _round_tasks(cluster, steps: int, start_time: float):
+    return [
+        LocalTrainTask(
+            device_id=device.device_id, num_steps=steps, start_time=start_time
+        )
+        for device in cluster.devices
+    ]
+
+
+def _bench_training(fleet_size: int, rounds: int, steps: int, repeats: int) -> dict:
+    backends = ("serial", "fleet")
+    clusters = {name: _make_cluster(name, fleet_size) for name in backends}
+    for cluster in clusters.values():
+        cluster.run_local_tasks(_round_tasks(cluster, 1, -1.0))  # warm-up
+    timings = {name: float("inf") for name in backends}
+    # Interleave backends inside each repeat so load drift cannot bias
+    # one backend's block (the bench_parallel policy).
+    for repeat in range(repeats):
+        for name in backends:
+            cluster = clusters[name]
+            elapsed = _best_of(
+                lambda c=cluster, r=repeat: [
+                    c.run_local_tasks(
+                        _round_tasks(c, steps, float(r * rounds + i))
+                    )
+                    for i in range(rounds)
+                ],
+                1,
+            )
+            timings[name] = min(timings[name], elapsed)
+    # Parity: identical seeds and bursts leave identical replicas (the
+    # full contract lives in tests/test_fleet.py).
+    for serial_dev, fleet_dev in zip(
+        clusters["serial"].devices, clusters["fleet"].devices
+    ):
+        np.testing.assert_array_equal(
+            serial_dev.get_params(), fleet_dev.get_params()
+        )
+    for cluster in clusters.values():
+        cluster.close()
+    return {
+        "fleet_size": fleet_size,
+        "rounds": rounds,
+        "steps_per_burst": steps,
+        "seconds": {k: round(v, 6) for k, v in timings.items()},
+        "speedup_vs_serial": round(timings["serial"] / timings["fleet"], 4),
+        "parity": "bitwise",
+    }
+
+
+# --------------------------------------------------------------------- #
+def run(
+    rounds: int = 4,
+    steps: int = 12,
+    repeats: int = 5,
+    enforce_floor: bool = True,
+) -> dict:
+    evaluation = [_bench_eval(d, repeats) for d in FLEET_SIZES]
+    training = [
+        _bench_training(d, rounds, steps, repeats) for d in FLEET_SIZES
+    ]
+    results = {
+        "probe_samples": PROBE_SAMPLES,
+        "cpu_count": os.cpu_count(),
+        "eval_floor": EVAL_FLOOR,
+        "stacked_eval": evaluation,
+        "training_bursts": training,
+    }
+    if enforce_floor:
+        for row in evaluation:
+            if row["fleet_size"] >= 8:
+                assert row["speedup_vs_codec_loop"] >= EVAL_FLOOR, (
+                    f"stacked eval below the {EVAL_FLOOR}x floor at "
+                    f"D={row['fleet_size']}: {row['speedup_vs_codec_loop']}x"
+                )
+    return results
+
+
+def main(quick: bool = False) -> dict:
+    if quick or os.environ.get("REPRO_BENCH_QUICK"):
+        # Tiny sizes for CI smoke: numbers are noise, only the bitwise
+        # parity assertions are meaningful — no floor.
+        results = run(rounds=1, steps=4, repeats=1, enforce_floor=False)
+    else:
+        results = run()
+    out_dir = REPO_ROOT / "benchmarks" / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "fleet.json").write_text(json.dumps(results, indent=2))
+    import platform
+
+    payload = {
+        "bench": "fleet",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    artefact = REPO_ROOT / "BENCH_fleet.json"
+    artefact.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(results, indent=2))
+    print(f"wrote {artefact}")
+    return results
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny sizes for CI smoke runs"
+    )
+    main(quick=parser.parse_args().quick)

@@ -4,14 +4,15 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick]
 
-Runs :mod:`bench_hotpath`, :mod:`bench_parallel` and :mod:`bench_wire`
-and writes the artefacts:
+Runs :mod:`bench_hotpath`, :mod:`bench_parallel`, :mod:`bench_wire`
+and :mod:`bench_fleet` and writes the artefacts:
 
 * ``benchmarks/results/hotpath.json`` / ``results/parallel.json`` /
-  ``results/wire.json`` — raw measurements;
-* ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` / ``BENCH_wire.json``
-  at the repo root — the same numbers plus run metadata, the files
-  future PRs diff to track the perf trajectory.
+  ``results/wire.json`` / ``results/fleet.json`` — raw measurements;
+* ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` /
+  ``BENCH_wire.json`` / ``BENCH_fleet.json`` at the repo root — the
+  same numbers plus run metadata, the files future PRs diff to track
+  the perf trajectory.
 
 ``--quick`` shrinks repeat counts for CI smoke runs (numbers are then
 noisy; only the bitwise-equality checks are meaningful).
@@ -34,6 +35,7 @@ for path in (str(SRC), str(REPO_ROOT / "benchmarks")):
 
 import numpy as np  # noqa: E402
 
+import bench_fleet  # noqa: E402
 import bench_hotpath  # noqa: E402
 import bench_parallel  # noqa: E402
 import bench_wire  # noqa: E402
@@ -55,9 +57,15 @@ def main(quick: bool = False) -> dict:
     print(f"wrote {out}")
     parallel = bench_parallel.main(quick=quick)
     wire = bench_wire.main(quick=quick)
+    fleet = bench_fleet.main(quick=quick)
     # Each bench persists its own artefact; the merged dict is only the
     # in-process return value.
-    return {"hotpath": payload, "parallel": parallel, "wire": wire}
+    return {
+        "hotpath": payload,
+        "parallel": parallel,
+        "wire": wire,
+        "fleet": fleet,
+    }
 
 
 if __name__ == "__main__":

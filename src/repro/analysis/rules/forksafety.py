@@ -34,6 +34,10 @@ FORK_SHIPPED_PREFIXES = (
     "repro/parallel/",
     "repro/sim/device.py",
     "repro/sim/failures.py",
+    # The fleet burst runner mutates the same device state the process
+    # pool ships (arenas, optimizers, cyclers, RNG streams); its module
+    # state must stay fork-safe or serial/process/fleet parity breaks.
+    "repro/sim/fleet.py",
     "repro/optim/",
     "repro/nn/",
     "repro/autograd/",

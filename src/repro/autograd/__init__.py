@@ -23,6 +23,9 @@ from repro.autograd.ops import (
     avg_pool2d,
     concatenate,
     conv2d,
+    fleet_conv2d,
+    fleet_linear,
+    fleet_softmax_cross_entropy,
     log_softmax,
     max_pool2d,
     pad2d,
@@ -38,6 +41,9 @@ __all__ = [
     "set_grad_enabled",
     "is_grad_enabled",
     "conv2d",
+    "fleet_conv2d",
+    "fleet_linear",
+    "fleet_softmax_cross_entropy",
     "max_pool2d",
     "avg_pool2d",
     "pad2d",

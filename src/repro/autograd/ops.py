@@ -12,7 +12,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor, as_tensor, unbroadcast
 
 
 # --------------------------------------------------------------------- #
@@ -111,7 +111,13 @@ def conv2d(
     out = w_rows @ cols  # (C_out, L*N)
     out_h = _conv_output_size(h, kh, stride, padding)
     out_w = _conv_output_size(w, kw, stride, padding)
-    out = out.reshape(c_out, out_h, out_w, n).transpose(3, 0, 1, 2)
+    # Normalise to C order: the transpose view's batch-minor layout would
+    # otherwise propagate through every downstream elementwise op, and
+    # BLAS bit patterns depend on operand orientation — the classifier
+    # GEMM on a batch-minor activation rounds differently than on a
+    # C-contiguous one.  One copy here keeps serial and replica-batched
+    # (fleet) forwards on identical layouts, hence identical bits.
+    out = np.ascontiguousarray(out.reshape(c_out, out_h, out_w, n).transpose(3, 0, 1, 2))
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1, 1)
 
@@ -124,6 +130,130 @@ def conv2d(
         weight._accumulate((g_mat @ cols.T).reshape(weight.shape))
         grad_cols = w_rows.T @ g_mat
         x._accumulate(col2im(grad_cols, x.shape, kh, kw, stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def fleet_conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Replica-batched 2D cross-correlation.
+
+    ``weight`` carries a leading replica axis: (D, C_out, C_in, kh, kw),
+    ``bias`` (D, C_out).  ``x`` is either (D, N, C_in, H, W) — one batch
+    per replica — or a shared (N, C_in, H, W) batch broadcast to every
+    replica (the stacked-evaluation path).  Output: (D, N, C_out, H_out,
+    W_out).
+
+    Each replica's slice goes through the *same* im2col index arithmetic
+    and GEMM as :func:`conv2d`; the batch is realised as one
+    ``np.matmul`` over the leading axis, which computes per-slice — so
+    results are bitwise identical to looping :func:`conv2d` per replica.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    if weight.ndim != 5:
+        raise ValueError(f"expected (D, C_out, C_in, kh, kw) weight, got {weight.shape}")
+    d, c_out, c_in_w, kh, kw = weight.shape
+    shared_input = x.ndim == 4
+    if shared_input:
+        n, c_in, h, w = x.shape
+    elif x.ndim == 5:
+        d_x, n, c_in, h, w = x.shape
+        if d_x != d:
+            raise ValueError(f"replica mismatch: input {d_x} vs weight {d}")
+    else:
+        raise ValueError(f"expected 4-D or 5-D input, got shape {x.shape}")
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in} vs weight {c_in_w}")
+
+    if shared_input:
+        cols = im2col(x.data, kh, kw, stride, padding)  # (C_in*kh*kw, L*N)
+    else:
+        cols = np.stack(
+            [im2col(x.data[k], kh, kw, stride, padding) for k in range(d)]
+        )  # (D, C_in*kh*kw, L*N)
+    w_rows = weight.data.reshape(d, c_out, -1)  # (D, C_out, C_in*kh*kw)
+    out = w_rows @ cols  # (D, C_out, L*N); matmul broadcasts shared cols
+    out_h = _conv_output_size(h, kh, stride, padding)
+    out_w = _conv_output_size(w, kw, stride, padding)
+    # Same C-order normalisation as conv2d (layout parity contract).
+    out = np.ascontiguousarray(
+        out.reshape(d, c_out, out_h, out_w, n).transpose(0, 4, 1, 2, 3)
+    )
+    if bias is not None:
+        out = out + bias.data.reshape(d, 1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_mat = np.asarray(g).transpose(0, 2, 3, 4, 1).reshape(d, c_out, -1)
+        if bias is not None:
+            bias._accumulate(g_mat.sum(axis=2))
+        cols_t = cols.T if shared_input else cols.transpose(0, 2, 1)
+        weight._accumulate((g_mat @ cols_t).reshape(weight.shape))
+        grad_cols = w_rows.transpose(0, 2, 1) @ g_mat  # (D, C_in*kh*kw, L*N)
+        x_shape = (n, c_in, h, w)
+        if shared_input:
+            grad_x = np.zeros(x_shape, dtype=np.float64)
+            for k in range(d):
+                grad_x += col2im(grad_cols[k], x_shape, kh, kw, stride, padding)
+            x._accumulate(grad_x)
+        else:
+            x._accumulate(
+                np.stack(
+                    [
+                        col2im(grad_cols[k], x_shape, kh, kw, stride, padding)
+                        for k in range(d)
+                    ]
+                )
+            )
+
+    return Tensor._make(out, parents, backward)
+
+
+def fleet_linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Replica-batched affine map: ``x @ weight.mT + bias`` per slice.
+
+    ``weight`` is a ``(D, out, in)`` stack and ``x`` is either a stacked
+    ``(D, N, in)`` activation or a shared ``(N, in)`` input that
+    broadcasts across replicas.  Fusing the transpose / matmul / bias
+    chain into one node keeps the batched forward free of the per-call
+    view bookkeeping the composed graph pays, while the backward replays
+    the exact NumPy reductions that chain would perform, so gradients
+    stay bitwise identical to the per-replica serial loop.  In
+    particular the bias gradient reduces the batch axis *unconditionally*:
+    a generic broadcast add would skip the reduction at ``N == 1``
+    (shapes already match) and leak ``-0.0`` sign bits that the serial
+    path — whose rank-1 bias always forces the reduce — normalises away.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    bias = as_tensor(bias) if bias is not None else None
+    if x.ndim < 2 or weight.ndim != 3 or x.shape[-1] != weight.shape[-1]:
+        raise ValueError(
+            f"expected (..., N, in) @ (D, out, in), got {x.shape} @ {weight.shape}"
+        )
+    if bias is not None and bias.shape != weight.shape[:2]:
+        raise ValueError(
+            f"bias shape {bias.shape} does not match weight stack {weight.shape}"
+        )
+    w_t = weight.data.transpose(0, 2, 1)  # (D, in, out) view
+    out = x.data @ w_t
+    if bias is not None:
+        out += bias.data[:, None, :]
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g = np.asarray(g)
+        x._accumulate(unbroadcast(g @ weight.data, x.shape))
+        weight._accumulate(
+            (np.swapaxes(x.data, -1, -2) @ g).transpose(0, 2, 1)
+        )
+        if bias is not None:
+            bias._accumulate(g.sum(axis=1))
 
     return Tensor._make(out, parents, backward)
 
@@ -262,6 +392,46 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         x._accumulate(out * (g - inner))
 
     return Tensor._make(out, (x,), backward)
+
+
+def fleet_softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Per-replica mean cross-entropy over a leading replica axis.
+
+    ``logits`` is ``(D, N, C)`` — D replicas, each with its own batch of N
+    samples — and ``targets`` is integer ``(D, N)``.  Returns a ``(D,)``
+    tensor whose d-th entry is exactly what
+    :func:`softmax_cross_entropy` computes for replica d alone: the
+    log-softmax shift/normalise and the picked-NLL mean all reduce along
+    the same trailing axes per slice, so the batched result is bitwise
+    identical to the per-replica loop.  ``backward`` expects a ``(D,)``
+    output gradient (ones for D independent scalar losses) and applies
+    the fused ``(softmax - one_hot) * (g_d / N)`` per replica.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets)
+    if targets.dtype.kind == "f":
+        targets = targets.astype(np.int64)
+    if logits.ndim != 3:
+        raise ValueError(f"expected (D, N, C) logits, got shape {logits.shape}")
+    d, n, _ = logits.shape
+    if targets.shape != (d, n):
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits batch ({d}, {n})"
+        )
+    log_probs = _log_softmax_data(logits.data, axis=2)
+    rows = np.arange(d)[:, None]
+    cols = np.arange(n)[None, :]
+    nll = -log_probs[rows, cols, targets].mean(axis=1)
+
+    def backward(g: np.ndarray) -> None:
+        scale = np.asarray(g, dtype=np.float64).reshape(d)
+        # exp is deferred to here so no-grad evaluation never pays it.
+        grad = np.exp(log_probs)
+        grad[rows, cols, targets] -= 1.0
+        grad *= (scale / n)[:, None, None]
+        logits._accumulate(grad)
+
+    return Tensor._make(nll, (logits,), backward)
 
 
 def softmax_cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:

@@ -525,6 +525,20 @@ class Tensor:
     def T(self) -> "Tensor":
         return self.transpose()
 
+    @property
+    def mT(self) -> "Tensor":
+        """Matrix transpose: swap the last two axes only.
+
+        ``.T`` reverses *all* axes, which scrambles a leading replica
+        axis; batched (fleet) code must use ``mT`` so ``(D, m, k)``
+        stacks transpose per slice to ``(D, k, m)``, exactly like the
+        2-D transpose each replica would apply on its own.
+        """
+        if self.ndim < 2:
+            raise ValueError(f"mT requires ndim >= 2, got shape {self.shape}")
+        axes = tuple(range(self.ndim - 2)) + (self.ndim - 1, self.ndim - 2)
+        return self.transpose(axes)
+
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
 

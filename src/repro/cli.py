@@ -85,9 +85,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
         default="serial",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "fleet"),
         help="local-training backend (bitwise-identical trajectories; "
-        "process uses forked workers + shared memory)",
+        "process uses forked workers + shared memory, fleet batches "
+        "replicas through vectorised kernels)",
     )
     parser.add_argument(
         "--workers",
@@ -216,7 +217,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"models    : {', '.join(available_models())}")
     print(f"schemes   : {', '.join(SCHEMES)}")
     print("selection : gaussian_quartile, uniform, latest, worst")
-    print("executors : serial, thread, process")
+    print("executors : serial, thread, process, fleet")
     print(
         f"wire      : {', '.join(available_wire_formats())} "
         "(+ topk<frac> / qsgd<bits> families)"

@@ -35,7 +35,9 @@ from repro.comm.quantise import (
     TopKWireFormat,
 )
 from repro.comm.params import (
+    ArenaSlot,
     FlatParamCodec,
+    FleetArena,
     ParamArena,
     get_flat_params,
     model_nbytes,
@@ -66,7 +68,9 @@ __all__ = [
     "Int8SRWireFormat",
     "QSGDWireFormat",
     "TopKWireFormat",
+    "ArenaSlot",
     "FlatParamCodec",
+    "FleetArena",
     "ParamArena",
     "get_flat_params",
     "set_flat_params",

@@ -30,12 +30,27 @@ codec that casts every simulated payload.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.wire import WireSpec, get_wire_format
 from repro.nn.module import Module, Parameter
+
+
+class ArenaSlot(NamedTuple):
+    """One named slot of an arena's flat layout.
+
+    ``offset`` indexes into :attr:`ParamArena.flat`; parameter slots
+    additionally occupy ``[offset, offset + size)`` of ``grad_flat``
+    (parameters form the arena prefix, so offsets coincide).
+    """
+
+    name: str
+    offset: int
+    size: int
+    shape: Tuple[int, ...]
+    is_param: bool
 
 
 class ParamArena:
@@ -76,6 +91,7 @@ class ParamArena:
     ) -> None:
         self.module = module
         self.include_buffers = include_buffers
+        self._layout: Optional[Tuple[ArenaSlot, ...]] = None
         params = list(module.named_parameters())
         buffers = list(module.named_buffers()) if include_buffers else []
         owners = module._buffer_owners() if include_buffers else {}
@@ -178,6 +194,95 @@ class ParamArena:
                 param._grad_view = gview
         return True
 
+    def layout(self) -> Tuple[ArenaSlot, ...]:
+        """Named slots in arena order (parameters first, then buffers).
+
+        The module tree is fixed after construction, so the tuple is
+        computed once and cached — callers on hot paths (fleet grouping
+        signatures) may request it per round.
+        """
+        if self._layout is not None:
+            return self._layout
+        slots: List[ArenaSlot] = []
+        cursor = 0
+        for name, param in self.module.named_parameters():
+            size = int(param.data.size)
+            slots.append(ArenaSlot(name, cursor, size, param.data.shape, True))
+            cursor += size
+        if self.include_buffers:
+            for name, buf in self.module.named_buffers():
+                size = int(buf.size)
+                slots.append(ArenaSlot(name, cursor, size, buf.shape, False))
+                cursor += size
+        self._layout = tuple(slots)
+        return self._layout
+
+    def rebind_storage(
+        self, flat: np.ndarray, grad_flat: Optional[np.ndarray] = None
+    ) -> None:
+        """Migrate the arena onto caller-owned storage, preserving values.
+
+        ``flat`` must be an fp64 vector of ``num_scalars`` (typically a
+        row of a :class:`FleetArena` stack).  Current parameter/buffer
+        values are copied in, then every view is reinstalled against the
+        new storage, so the module keeps its exact state while the arena
+        changes address.  When the arena binds gradients, ``grad_flat``
+        (fp64, ``param_scalars``) is required; gradient *liveness* is
+        preserved — a parameter whose ``grad`` was ``None`` stays
+        ``None``, a live gradient moves onto the new storage with
+        identical values (:meth:`~repro.autograd.Tensor.bind_grad`).
+        """
+        flat = np.asarray(flat)
+        if flat.shape != (self.num_scalars,) or flat.dtype != np.float64:
+            raise ValueError(
+                f"storage must be fp64 ({self.num_scalars},), "
+                f"got {flat.dtype} {flat.shape}"
+            )
+        self.ensure_bound()
+        flat[...] = self.flat
+        self.flat = flat
+        cursor = 0
+        param_entries: List[Tuple[Parameter, np.ndarray]] = []
+        for param, _ in self._param_entries:
+            size = int(param.data.size)
+            view = flat[cursor : cursor + size].reshape(param.data.shape)
+            # repro: allow[arena-rebind] storage migration re-installs the views
+            param.data = view
+            param_entries.append((param, view))
+            cursor += size
+        self._param_entries = param_entries
+        buffer_entries: List[Tuple[Module, str, np.ndarray]] = []
+        for owner, local, old in self._buffer_entries:
+            size = int(old.size)
+            view = flat[cursor : cursor + size].reshape(old.shape)
+            owner._buffers[local] = view
+            object.__setattr__(owner, local, view)
+            buffer_entries.append((owner, local, view))
+            cursor += size
+        self._buffer_entries = buffer_entries
+
+        if self.grad_flat is None:
+            return
+        if grad_flat is None:
+            raise ValueError("arena binds gradients; grad_flat storage required")
+        grad_flat = np.asarray(grad_flat)
+        if grad_flat.shape != (self.param_scalars,) or grad_flat.dtype != np.float64:
+            raise ValueError(
+                f"grad storage must be fp64 ({self.param_scalars},), "
+                f"got {grad_flat.dtype} {grad_flat.shape}"
+            )
+        grad_flat[...] = self.grad_flat
+        self.grad_flat = grad_flat
+        cursor = 0
+        grad_entries: List[Tuple[Parameter, np.ndarray]] = []
+        for param, _ in self._param_entries:
+            size = int(param.data.size)
+            gview = grad_flat[cursor : cursor + size].reshape(param.data.shape)
+            param.bind_grad(gview)
+            grad_entries.append((param, gview))
+            cursor += size
+        self._grad_entries = grad_entries
+
     # ------------------------------------------------------------------ #
     def read(self) -> np.ndarray:
         """Zero-copy read: the live arena itself.
@@ -248,6 +353,86 @@ class ParamArena:
             incoming = incoming.copy()
         self.flat *= own_weight
         self.flat += (1.0 - own_weight) * incoming.reshape(-1)
+
+
+class FleetArena:
+    """D member :class:`ParamArena` vectors viewed as one ``(D, n)`` matrix.
+
+    Construction migrates every member arena onto a row of a single
+    contiguous block (:meth:`ParamArena.rebind_storage`), so the whole
+    fleet's state is ``stack`` and the whole fleet's gradients are
+    ``grad_stack`` — one matrix each — while each device's aliasing
+    contract is untouched: ``arenas[d].flat`` *is* ``stack[d]``, every
+    ``Parameter.data`` still aliases its device's row, the fused
+    optimizers still adopt contiguous storage (each row roots in one 1-D
+    base), and per-device reads/writes/mixes work unchanged.
+
+    Batched (fleet) code slices column ranges of the first ``k`` rows to
+    get stacked per-parameter views — ``stack[:k, off : off + size]``
+    reshaped to ``(k, *shape)`` — which alias the same memory the
+    per-device loop would touch, so batched and serial execution write
+    the very same bytes.
+
+    :meth:`release` migrates every member back onto private storage,
+    restoring the pre-fleet layout (values preserved).
+    """
+
+    def __init__(self, arenas: Sequence[ParamArena]) -> None:
+        if not arenas:
+            raise ValueError("FleetArena requires at least one member arena")
+        first = arenas[0]
+        for arena in arenas[1:]:
+            if (
+                arena.num_scalars != first.num_scalars
+                or arena.param_scalars != first.param_scalars
+            ):
+                raise ValueError(
+                    "member arenas have different layouts: "
+                    f"{arena.num_scalars}/{arena.param_scalars} scalars vs "
+                    f"{first.num_scalars}/{first.param_scalars}"
+                )
+            if (arena.grad_flat is None) != (first.grad_flat is None):
+                raise ValueError("member arenas disagree on gradient binding")
+        self.arenas: List[ParamArena] = list(arenas)
+        self.num_scalars = first.num_scalars
+        self.param_scalars = first.param_scalars
+        d = len(self.arenas)
+        # 1-D roots so the fused optimizers' contiguity adoption
+        # (``_root_base``) keeps seeing a flat fp64 base under every row.
+        base = np.empty(d * self.num_scalars, dtype=np.float64)
+        self.stack: np.ndarray = base.reshape(d, self.num_scalars)
+        if first.grad_flat is not None:
+            gbase = np.zeros(d * self.param_scalars, dtype=np.float64)
+            self.grad_stack: Optional[np.ndarray] = gbase.reshape(
+                d, self.param_scalars
+            )
+        else:
+            self.grad_stack = None
+        for k, arena in enumerate(self.arenas):
+            arena.rebind_storage(
+                self.stack[k],
+                None if self.grad_stack is None else self.grad_stack[k],
+            )
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.arenas)
+
+    def param_stack(self, count: Optional[int] = None) -> np.ndarray:
+        """The parameter prefix of the first ``count`` rows (a view)."""
+        count = len(self.arenas) if count is None else count
+        return self.stack[:count, : self.param_scalars]
+
+    def release(self) -> None:
+        """Migrate every member back onto private per-device storage."""
+        for arena in self.arenas:
+            flat = np.empty(arena.num_scalars, dtype=np.float64)
+            grad = (
+                None
+                if arena.grad_flat is None
+                else np.zeros(arena.param_scalars, dtype=np.float64)
+            )
+            arena.rebind_storage(flat, grad)
 
 
 class FlatParamCodec:

@@ -50,10 +50,10 @@ class HADFLParams:
         budget from the version predictor's forecast each round.
     executor:
         Local-training execution backend override: ``"serial"``,
-        ``"thread"`` or ``"process"``.  ``None`` (default) uses the
-        cluster's executor.  Every backend is bitwise-identical to
-        serial on fixed seeds, so this knob never changes a trajectory —
-        only wall-clock time.
+        ``"thread"``, ``"process"`` or ``"fleet"`` (replica-batched
+        NumPy kernels).  ``None`` (default) uses the cluster's executor.
+        Every backend is bitwise-identical to serial on fixed seeds, so
+        this knob never changes a trajectory — only wall-clock time.
     executor_workers:
         Worker count for a parallel ``executor`` override.
     wire_dtype:
@@ -132,9 +132,11 @@ class HADFLParams:
             "serial",
             "thread",
             "process",
+            "fleet",
         ):
             raise ValueError(
-                f"executor must be one of serial/thread/process, got {self.executor!r}"
+                "executor must be one of serial/thread/process/fleet, "
+                f"got {self.executor!r}"
             )
         if self.executor_workers is not None and self.executor_workers < 1:
             raise ValueError(

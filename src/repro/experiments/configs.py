@@ -126,8 +126,9 @@ class ExperimentConfig:
     seed: int = 0
     fedavg_local_steps: Optional[int] = None
 
-    # Execution backend (bitwise-identical to serial on fixed seeds;
-    # affects wall-clock only, never the trajectory)
+    # Execution backend, "serial"/"thread"/"process"/"fleet"
+    # (bitwise-identical to serial on fixed seeds; affects wall-clock
+    # only, never the trajectory)
     executor: str = "serial"
     executor_workers: Optional[int] = None
 

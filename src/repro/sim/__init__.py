@@ -39,6 +39,7 @@ from repro.sim.linkfaults import (
 )
 from repro.sim.trace import TraceRecorder
 from repro.sim.executor import (
+    FleetExecutor,
     LocalExecutor,
     ProcessExecutor,
     SerialExecutor,
@@ -70,5 +71,6 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "FleetExecutor",
     "make_executor",
 ]

@@ -8,17 +8,20 @@ exactly as in the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import Tensor, fleet_softmax_cross_entropy, no_grad
 from repro.comm.params import FlatParamCodec, ParamArena
 from repro.comm.wire import WireFormat, WireSpec, get_wire_format
 from repro.data.dataset import Dataset, Subset
 from repro.data.loader import BatchCycler
 from repro.data.partition import partition_dirichlet, partition_iid
+from repro.nn.fleet import FleetModule, fleet_capable
+from repro.nn.layers import Dropout
 from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.norm import BatchNorm2d
 from repro.nn.module import Module
 from repro.optim.base import Optimizer
 from repro.optim.lr_schedules import LRSchedule
@@ -164,6 +167,28 @@ class SimulatedCluster:
         # survivor pairs) otherwise.
         self.model_nbytes = self.wire.payload_nbytes(self.initial_params)
         self._loss_fn = CrossEntropyLoss()
+        # Stacked-evaluation cache: member ids -> (models, stack,
+        # module, mode_sensitive, (batch_size, chunk tensors)).  The
+        # (D, n) buffer, its FleetModule views, and the pre-wrapped test
+        # chunks are rebuilt only when the member set or its model
+        # objects change; each call refreshes the stack rows with one
+        # bulk copy per replica.
+        self._fleet_eval_cache: Dict[
+            Tuple[int, ...],
+            Tuple[
+                Tuple[Module, ...],
+                np.ndarray,
+                FleetModule,
+                bool,
+                Tuple[int, List[Tuple[Tensor, np.ndarray, np.ndarray]]],
+            ],
+        ] = {}
+        # Grouping-plan cache for evaluate_devices: target ids ->
+        # (models, (solo indices, grouped index lists)).
+        self._eval_plan_cache: Dict[
+            Tuple[int, ...],
+            Tuple[Tuple[Module, ...], Tuple[List[int], List[List[int]]]],
+        ] = {}
 
         # The initial model dispatch crosses the wire too: a device
         # starts from what survived the cast (identity on fp64).  Every
@@ -269,8 +294,13 @@ class SimulatedCluster:
     def evaluate_params(
         self, flat: np.ndarray, batch_size: int = 256
     ) -> Tuple[float, float]:
-        """Test-set (loss, accuracy) of a flat parameter vector."""
-        self.codec.unflatten(self._eval_model, flat)
+        """Test-set (loss, accuracy) of a flat parameter vector.
+
+        Loads the vector with one vectorized arena write — no
+        per-parameter codec round-trip (the values land bitwise
+        identically either way; ``tests/test_fleet.py`` pins it).
+        """
+        self._eval_arena.write(flat)
         self._eval_model.eval()
         features = self.test_set.features
         labels = self.test_set.labels
@@ -284,6 +314,166 @@ class SimulatedCluster:
                 correct += accuracy(logits, lb) * len(lb)
                 count += len(lb)
         return total_loss / count, correct / count
+
+    def evaluate_device(
+        self, device_id: int, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """Test-set (loss, accuracy) of a device's live replica.
+
+        Runs the device's own model straight off its arena views — no
+        parameter copy at all, unlike routing the snapshot through
+        :meth:`evaluate_params`.  The metrics are bitwise identical to
+        that route (same weights, same arithmetic).
+        """
+        device = self.device_by_id(device_id)
+        return device.evaluate(
+            self.test_set.features, self.test_set.labels, batch_size
+        )
+
+    def evaluate_devices(
+        self,
+        device_ids: Optional[Sequence[int]] = None,
+        batch_size: int = 256,
+    ) -> Dict[int, Tuple[float, float]]:
+        """Per-device test metrics, batched across replicas when possible.
+
+        Architecture-identical fleet-capable devices are evaluated with
+        ONE stacked forward per test chunk (the shared batch broadcasts
+        against every replica's parameter rows); anything else falls
+        back to :meth:`evaluate_device` per device.  Results are bitwise
+        identical to the per-device loop either way.
+        """
+        targets = (
+            self.devices
+            if device_ids is None
+            else [self.device_by_id(i) for i in device_ids]
+        )
+        results: Dict[int, Tuple[float, float]] = {}
+        # The grouping walks every module tree (fleet_capable) — cache
+        # the plan per target set and revalidate by model identity, so
+        # per-round re-evaluations skip the walk entirely.
+        plan_key = tuple(d.device_id for d in targets)
+        models = tuple(d.model for d in targets)
+        cached_plan = self._eval_plan_cache.get(plan_key)
+        if cached_plan is not None and cached_plan[0] == models:
+            solo, grouped = cached_plan[1]
+        else:
+            groups: Dict[Tuple[Hashable, ...], List[int]] = {}
+            solo = []  # type: List[int]
+            for index, device in enumerate(targets):
+                if fleet_capable(device.model):
+                    signature = (type(device.model), device.arena.layout())
+                    groups.setdefault(signature, []).append(index)
+                else:
+                    solo.append(index)
+            grouped = list(groups.values())
+            self._eval_plan_cache[plan_key] = (models, (solo, grouped))
+        for index in solo:
+            device = targets[index]
+            results[device.device_id] = self.evaluate_device(
+                device.device_id, batch_size
+            )
+        for indices in grouped:
+            members = [targets[i] for i in indices]
+            if len(members) == 1:
+                device = members[0]
+                results[device.device_id] = self.evaluate_device(
+                    device.device_id, batch_size
+                )
+            else:
+                results.update(self._evaluate_fleet(members, batch_size))
+        return {d.device_id: results[d.device_id] for d in targets}
+
+    def _evaluate_fleet(
+        self, members: Sequence[Device], batch_size: int
+    ) -> Dict[int, Tuple[float, float]]:
+        """Stacked evaluation of architecture-identical replicas.
+
+        One ``(D, n)`` parameter stack, one batched forward per test
+        chunk; per-replica loss/accuracy come from the device's own loss
+        on each logits slice, so the numbers match
+        :meth:`~repro.sim.device.Device.evaluate` bitwise.  The stack
+        buffer and its :class:`FleetModule` views are cached per member
+        set, so repeated evaluations pay one row copy per replica and no
+        reconstruction.  When every member uses the stock
+        :class:`CrossEntropyLoss`, the per-slice metric loop collapses
+        into one vectorised cross-entropy + argmax over the replica axis
+        (per-slice reductions, so still bitwise identical).
+        """
+        models = tuple(d.model for d in members)
+        key = tuple(d.device_id for d in members)
+        k = len(members)
+        cached = self._fleet_eval_cache.get(key)
+        if cached is not None and cached[0] == models:
+            _, stack, module, mode_sensitive, chunk_plan = cached
+        else:
+            stack = np.empty(
+                (len(members), members[0].arena.num_scalars), dtype=np.float64
+            )
+            module = FleetModule(list(models), stack, members[0].arena.layout())
+            # Only Dropout and BatchNorm2d read ``training``; a tree
+            # without them evaluates identically in either mode, so the
+            # per-call eval()/train() walks can be skipped.
+            mode_sensitive = any(
+                isinstance(sub, (Dropout, BatchNorm2d))
+                for sub in models[0].modules()
+            )
+            chunk_plan = (-1, [])
+            cached = (models, stack, module, mode_sensitive, chunk_plan)
+            self._fleet_eval_cache[key] = cached
+        if chunk_plan[0] != batch_size:
+            # The test set is fixed for the cluster's lifetime: pre-wrap
+            # each chunk (input tensor + replica-tiled labels) once per
+            # batch size instead of on every evaluation.
+            features = self.test_set.features
+            labels = self.test_set.labels
+            chunks = [
+                (
+                    Tensor(features[start : start + batch_size]),
+                    labels[start : start + batch_size],
+                    np.broadcast_to(
+                        labels[start : start + batch_size],
+                        (k, len(labels[start : start + batch_size])),
+                    ),
+                )
+                for start in range(0, len(features), batch_size)
+            ]
+            chunk_plan = (batch_size, chunks)
+            self._fleet_eval_cache[key] = cached[:4] + (chunk_plan,)
+        for i, device in enumerate(members):
+            np.copyto(stack[i], device.get_params_view())
+        total_loss = np.zeros(k)
+        correct = np.zeros(k)
+        count = 0
+        vector_ce = all(type(d.loss_fn) is CrossEntropyLoss for d in members)
+        if mode_sensitive:
+            for device in members:
+                device.model.eval()
+        with no_grad():
+            for xb, lb, tiled in chunk_plan[1]:
+                logits = module.forward(xb, stacked=False)
+                if vector_ce:
+                    nll = fleet_softmax_cross_entropy(logits, tiled).data
+                    acc = (logits.data.argmax(axis=2) == lb).mean(axis=1)
+                    total_loss += nll * len(lb)
+                    correct += acc * len(lb)
+                else:
+                    for i, device in enumerate(members):
+                        sliced = Tensor(logits.data[i])
+                        loss = device.loss_fn(sliced, lb)
+                        total_loss[i] += float(loss.data) * len(lb)
+                        correct[i] += accuracy(sliced, lb) * len(lb)
+                count += len(lb)
+        if mode_sensitive:
+            for device in members:
+                device.model.train()
+        return {
+            device.device_id: (
+                float(total_loss[i]) / count,
+                float(correct[i]) / count,
+            )
+            for i, device in enumerate(members)
+        }
 
     def mean_device_params(self, device_ids: Optional[Sequence[int]] = None) -> np.ndarray:
         """Average of the (selected) devices' current parameters."""

@@ -23,6 +23,11 @@ Backends
     forked workers, per-device arena/optimizer state shipped through one
     shared-memory block, small state (RNG, cycler, counters) over pipes.
     Falls back to serial with a warning where fork is unavailable.
+``fleet``
+    Replica-batched execution (:mod:`repro.sim.fleet`): compatible
+    devices train as one lockstep loop of batched forward/backward
+    calls over a :class:`~repro.comm.params.FleetArena` stack; devices
+    the batched kernels cannot cover fall back to the serial path.
 
 Select a backend with ``SimulatedCluster(executor="process")``,
 ``HADFLParams(executor=...)``, ``ExperimentConfig(executor=...)`` or
@@ -48,7 +53,7 @@ if TYPE_CHECKING:
 # it needs repro.sim.device, so a module-level import here would close an
 # import cycle when the interpreter enters through `import repro.parallel`.
 
-EXECUTOR_NAMES = ("serial", "thread", "process")
+EXECUTOR_NAMES = ("serial", "thread", "process", "fleet")
 
 
 class LocalExecutor:
@@ -237,10 +242,36 @@ class ProcessExecutor(LocalExecutor):
             self._pool_devices = None
 
 
+class FleetExecutor(LocalExecutor):
+    """Replica-batched backend: one vectorised loop instead of D loops.
+
+    Groups architecture-identical devices and trains each group through
+    batched fleet kernels (see :mod:`repro.sim.fleet`); incompatible
+    devices run the ordinary serial path.  ``workers`` is accepted for
+    interface uniformity but unused — the batching happens inside NumPy
+    kernels, not across Python workers.
+    """
+
+    name = "fleet"
+
+    def run_tasks(
+        self, cluster: "SimulatedCluster", tasks: Sequence[LocalTrainTask]
+    ) -> Dict[int, LocalTrainResult]:
+        # Lazy import: repro.sim.fleet needs repro.nn.fleet, keeping the
+        # heavy batched machinery out of plain-serial start-up.
+        from repro.sim.fleet import run_fleet_tasks
+
+        if not tasks:
+            return {}
+        self._check_unique(tasks)
+        return run_fleet_tasks(cluster, tasks)
+
+
 _EXECUTORS = {
     "serial": SerialExecutor,
     "thread": ThreadExecutor,
     "process": ProcessExecutor,
+    "fleet": FleetExecutor,
 }
 
 
