@@ -4,15 +4,17 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--quick]
 
-Runs :mod:`bench_hotpath`, :mod:`bench_parallel`, :mod:`bench_wire`
-and :mod:`bench_fleet` and writes the artefacts:
+Runs :mod:`bench_hotpath`, :mod:`bench_parallel`, :mod:`bench_wire`,
+:mod:`bench_fleet` and :mod:`bench_population` and writes the artefacts:
 
 * ``benchmarks/results/hotpath.json`` / ``results/parallel.json`` /
-  ``results/wire.json`` / ``results/fleet.json`` — raw measurements;
+  ``results/wire.json`` / ``results/fleet.json`` /
+  ``results/population.json`` — raw measurements;
 * ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` /
-  ``BENCH_wire.json`` / ``BENCH_fleet.json`` at the repo root — the
-  same numbers plus run metadata, the files future PRs diff to track
-  the perf trajectory.
+  ``BENCH_wire.json`` / ``BENCH_fleet.json`` /
+  ``BENCH_population.json`` at the repo root — the same numbers plus
+  run metadata, the files future PRs diff to track the perf
+  trajectory.
 
 ``--quick`` shrinks repeat counts for CI smoke runs (numbers are then
 noisy; only the bitwise-equality checks are meaningful).
@@ -38,6 +40,7 @@ import numpy as np  # noqa: E402
 import bench_fleet  # noqa: E402
 import bench_hotpath  # noqa: E402
 import bench_parallel  # noqa: E402
+import bench_population  # noqa: E402
 import bench_wire  # noqa: E402
 
 
@@ -58,6 +61,7 @@ def main(quick: bool = False) -> dict:
     parallel = bench_parallel.main(quick=quick)
     wire = bench_wire.main(quick=quick)
     fleet = bench_fleet.main(quick=quick)
+    population = bench_population.main(quick=quick)
     # Each bench persists its own artefact; the merged dict is only the
     # in-process return value.
     return {
@@ -65,6 +69,7 @@ def main(quick: bool = False) -> dict:
         "parallel": parallel,
         "wire": wire,
         "fleet": fleet,
+        "population": population,
     }
 
 

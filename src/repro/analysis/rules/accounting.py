@@ -29,6 +29,7 @@ KNOWN_KINDS = frozenset(
     {
         "initial_dispatch",  # model dispatch at cluster construction
         "partial_sync",      # HADFL's selected-set ring gossip
+        "participant_dispatch",  # population trainer's per-round model send
         "broadcast",         # non-blocking aggregate broadcast
         "resync",            # dense re-sync of a stale delta reference
         "fallback_dense",    # sync_failure_policy dense re-dispatch

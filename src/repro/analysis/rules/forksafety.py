@@ -38,6 +38,10 @@ FORK_SHIPPED_PREFIXES = (
     # pool ships (arenas, optimizers, cyclers, RNG streams); its module
     # state must stay fork-safe or serial/process/fleet parity breaks.
     "repro/sim/fleet.py",
+    # Virtual populations hand executor backends the same device state
+    # (arena blocks, optimizers, cyclers) the fleet runner batches;
+    # keeping the module fork-safe keeps that door open for pools.
+    "repro/sim/population.py",
     "repro/optim/",
     "repro/nn/",
     "repro/autograd/",

@@ -12,12 +12,17 @@ Commands
     comparison and an accuracy-vs-time plot.
 ``table1``
     Regenerate the paper's Table I at the chosen scale.
+``population``
+    Train over a virtual device population (lazy materialisation +
+    arena pooling): memory scales with ``--participants``, not
+    ``--population``.
 
 Examples::
 
     python -m repro run --scheme hadfl --model resnet_mini --ratio 4,2,2,1
     python -m repro compare --model mlp --epochs 20 --out /tmp/runs
     python -m repro table1 --epochs 10
+    python -m repro population --population 100000 --participants 64
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.experiments import (
     run_scheme,
     run_table1,
 )
+from repro.experiments.population import PopulationConfig, run_population
 from repro.experiments.runner import SCHEMES
 from repro.comm.wire import available_wire_formats, get_wire_format
 from repro.metrics import ascii_plot, comparison_table, series_from_results
@@ -107,6 +113,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         f"{', '.join(available_wire_formats())}, topk<frac> (e.g. "
         "topk0.05), qsgd<bits>",
     )
+    parser.add_argument(
+        "--accounting",
+        default="exact",
+        choices=("exact", "aggregate"),
+        help="comm accountant mode: exact keeps the per-transfer log, "
+        "aggregate keeps only running totals (bounded memory; byte "
+        "totals identical)",
+    )
     chaos = parser.add_argument_group(
         "chaos", "fault injection (all off by default; fixed-seed "
         "deterministic via --chaos-seed)"
@@ -172,6 +186,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         executor=args.executor,
         executor_workers=args.workers,
         wire_dtype=args.wire_dtype,
+        accounting=args.accounting,
         failure_rate=args.failure_rate,
         mean_downtime=args.mean_downtime,
         slowdown_rate=args.slowdown_rate,
@@ -264,6 +279,48 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_population(args: argparse.Namespace) -> int:
+    config = PopulationConfig(
+        population=args.population,
+        participants=args.participants,
+        rounds=args.rounds,
+        round_window=args.round_window,
+        shard_size=args.shard_size,
+        power_levels=args.ratio,
+        availability=args.availability,
+        model=args.model,
+        image_size=args.image_size,
+        num_train=args.train,
+        num_test=args.test,
+        batch_size=args.batch_size,
+        wire_dtype=args.wire_dtype,
+        accounting=args.accounting,
+        eval_every=args.eval_every,
+        executor=args.executor,
+        executor_workers=args.workers,
+        seed=args.seed,
+    )
+    print(config.describe())
+    result = run_population(config)
+    print(result.summary())
+    pool = result.config["pool"]
+    print(
+        f"pool       : created={pool['created']} "
+        f"max_resident={pool['max_resident']} recycled={pool['recycled']}"
+    )
+    if pool["max_resident"] > config.participants:
+        raise SystemExit(
+            f"bounded-memory invariant violated: {pool['max_resident']} "
+            f"resident arenas for {config.participants} participants"
+        )
+    if args.verify_accounting:
+        print(_check_accounting(result))
+    if args.out:
+        path = io.save_result(result, f"{args.out}/population.json")
+        print(f"saved: {path}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     cells = run_table1(config, repeats=args.repeats)
@@ -289,6 +346,67 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare", help="run all three schemes")
     _add_config_arguments(compare)
     compare.set_defaults(handler=_cmd_compare)
+
+    population = subparsers.add_parser(
+        "population",
+        help="train over a virtual device population "
+        "(memory bounded by --participants, not --population)",
+    )
+    population.add_argument(
+        "--population", type=int, default=10_000,
+        help="virtual devices in the population",
+    )
+    population.add_argument(
+        "--participants", type=int, default=100,
+        help="devices materialised per round (bounds peak arena memory)",
+    )
+    population.add_argument("--rounds", type=int, default=10)
+    population.add_argument(
+        "--round-window", type=float, default=1.0,
+        help="virtual seconds of local training per round",
+    )
+    population.add_argument(
+        "--shard-size", type=int, default=64,
+        help="samples in each device's lazily-sampled shard",
+    )
+    population.add_argument(
+        "--ratio", type=_parse_ratio, default=(3, 3, 1, 1),
+        help="power levels dealt round-robin over device ids",
+    )
+    population.add_argument(
+        "--availability", default="always", choices=("always", "diurnal"),
+        help="availability model gating per-round eligibility",
+    )
+    population.add_argument(
+        "--accounting", default="aggregate", choices=("aggregate", "exact"),
+        help="comm accountant mode (aggregate = bounded memory)",
+    )
+    population.add_argument("--model", default="mlp", help="model zoo name")
+    population.add_argument("--train", type=int, default=800)
+    population.add_argument("--test", type=int, default=400)
+    population.add_argument("--image-size", type=int, default=8)
+    population.add_argument("--batch-size", type=int, default=16)
+    population.add_argument(
+        "--eval-every", type=int, default=0,
+        help="evaluate the global model every N rounds (0: final only)",
+    )
+    population.add_argument(
+        "--executor", default="serial", choices=("serial", "thread", "fleet"),
+        help="local-training backend (process needs a full device list "
+        "and is not supported for virtual populations)",
+    )
+    population.add_argument("--workers", type=int, default=None)
+    population.add_argument(
+        "--wire-dtype", default="fp64", type=_parse_wire_dtype,
+        help="wire format of every simulated transfer",
+    )
+    population.add_argument("--seed", type=int, default=1)
+    population.add_argument("--out", default=None)
+    population.add_argument(
+        "--verify-accounting", action="store_true",
+        help="assert sum(comm_bytes) == accountant total after the run",
+    )
+    population.set_defaults(handler=_cmd_population)
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table I")
     table1.add_argument("--repeats", type=int, default=1)

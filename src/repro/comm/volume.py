@@ -50,9 +50,29 @@ class VolumeRecord:
 
 
 class CommVolumeAccountant:
-    """Counts every simulated byte by sender and traffic kind."""
+    """Counts every simulated byte by sender and traffic kind.
 
-    def __init__(self) -> None:
+    ``mode`` bounds the accountant's memory:
+
+    * ``"exact"`` (default) — keep every :class:`VolumeRecord` for
+      post-hoc per-transfer analysis; memory grows with traffic count.
+    * ``"aggregate"`` — keep only the running totals (per kind, per
+      src, per dst).  All totals — ``total_bytes``, ``bytes_by_kind``,
+      ``bytes_by_device``, ``bytes_received_by_device``, ``snapshot`` —
+      are identical to exact mode by construction; only :meth:`records`
+      degrades (returns an empty tuple).  This is the population-scale
+      mode: memory is O(distinct devices touched), never O(transfers)
+      and never the O(K²) of a per-(src, dst) matrix.
+    """
+
+    _MODES = ("exact", "aggregate")
+
+    def __init__(self, mode: str = "exact") -> None:
+        if mode not in self._MODES:
+            raise ValueError(
+                f"unknown accounting mode {mode!r}; choose from {self._MODES}"
+            )
+        self.mode = mode
         self._records: list[VolumeRecord] = []
         self._by_kind: Dict[str, int] = defaultdict(int)
         self._by_device: Dict[int, int] = defaultdict(int)
@@ -68,7 +88,8 @@ class CommVolumeAccountant:
     ) -> None:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-        self._records.append(VolumeRecord(time, src, dst, int(nbytes), kind))
+        if self.mode == "exact":
+            self._records.append(VolumeRecord(time, src, dst, int(nbytes), kind))
         self._by_kind[kind] += int(nbytes)
         if src is not None:
             self._by_device[src] += int(nbytes)
@@ -99,6 +120,7 @@ class CommVolumeAccountant:
         return dict(self._received_by_device)
 
     def records(self) -> Tuple[VolumeRecord, ...]:
+        """Every transfer, in record order — empty in ``aggregate`` mode."""
         return tuple(self._records)
 
     def snapshot(self) -> Dict[str, object]:

@@ -84,6 +84,12 @@ class HADFLParams:
         ``"continue"`` (local progress is kept) until a sync succeeds
         again — otherwise a permanently failing sync would freeze the
         epoch counter and the run could never reach its target.
+    accounting:
+        ``CommVolumeAccountant`` memory mode: ``"exact"`` (default)
+        keeps every per-transfer record, ``"aggregate"`` keeps only the
+        running per-kind/per-src/per-dst totals — same ``snapshot()``
+        and invariant checks, bounded memory for long or
+        population-scale runs.
     """
 
     tsync: int = 1
@@ -103,6 +109,7 @@ class HADFLParams:
     wire_dtype: "str | None" = None
     sync_failure_policy: str = "continue"
     max_round_rollbacks: int = 8
+    accounting: str = "exact"
 
     def __post_init__(self):
         if self.tsync < 1:
@@ -158,4 +165,9 @@ class HADFLParams:
         if self.max_round_rollbacks < 1:
             raise ValueError(
                 f"max_round_rollbacks must be >= 1, got {self.max_round_rollbacks}"
+            )
+        if self.accounting not in ("exact", "aggregate"):
+            raise ValueError(
+                "accounting must be one of exact/aggregate, "
+                f"got {self.accounting!r}"
             )

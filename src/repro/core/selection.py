@@ -31,21 +31,28 @@ import numpy as np
 _MASS_FLOOR = 1e-300
 
 
-def gaussian_quartile_probabilities(
-    versions: Dict[int, float], sigma: float = 1.0
-) -> Dict[int, float]:
-    """Selection probabilities of Eq. 8 over a version dictionary."""
-    if not versions:
+def gaussian_quartile_scores(
+    values: np.ndarray, sigma: float = 1.0
+) -> np.ndarray:
+    """Normalised Eq. 8 selection probabilities over a version *array*.
+
+    The vectorised kernel under :func:`gaussian_quartile_probabilities`:
+    identical arithmetic in identical order (Q3 centre, spread
+    standardisation, Gaussian → Cauchy → uniform underflow cascade), so
+    dictionary and array callers see bitwise-identical probabilities.
+    The array form is the population-scale entry point — scoring 10^6
+    versions costs a few vector ops instead of dict churn.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
         raise ValueError("no versions supplied")
     if sigma <= 0:
         raise ValueError(f"sigma must be positive, got {sigma}")
-    ids = sorted(versions)
-    values = np.array([versions[i] for i in ids], dtype=float)
     mu = np.percentile(values, 75)  # the 3rd quartile of all v_{i,j}
     spread = np.std(values)
     if spread == 0.0:
         # All devices at the same version: uniform selection.
-        return {i: 1.0 / len(ids) for i in ids}
+        return np.full(values.size, 1.0 / values.size)
     z = (values - mu) / (sigma * spread)
     density = np.exp(-0.5 * z**2) / np.sqrt(2 * np.pi)
     total = density.sum()
@@ -63,8 +70,51 @@ def gaussian_quartile_probabilities(
         # Pathological z (e.g. a denormal spread overflowing z to inf):
         # no usable ordering information left — uniform, like the
         # spread == 0 branch.
-        return {i: 1.0 / len(ids) for i in ids}
-    return {i: float(p / total) for i, p in zip(ids, density)}
+        return np.full(values.size, 1.0 / values.size)
+    return density / total
+
+
+def gaussian_quartile_probabilities(
+    versions: Dict[int, float], sigma: float = 1.0
+) -> Dict[int, float]:
+    """Selection probabilities of Eq. 8 over a version dictionary."""
+    if not versions:
+        raise ValueError("no versions supplied")
+    ids = sorted(versions)
+    values = np.array([versions[i] for i in ids], dtype=float)
+    scores = gaussian_quartile_scores(values, sigma)
+    return {i: float(p) for i, p in zip(ids, scores)}
+
+
+def sample_participants(
+    values: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    sigma: float = 1.0,
+) -> np.ndarray:
+    """Draw ``count`` distinct indices ∝ Eq. 8 scores, in O(n) time.
+
+    ``rng.choice(n, size=k, replace=False, p=...)`` runs a sequential
+    rejection loop — O(n·k) at best — which dominates round time once
+    the candidate pool reaches population scale.  The Gumbel-top-k
+    trick is the standard replacement: perturb ``log p_i`` with i.i.d.
+    Gumbel noise and take the ``k`` largest keys, which is distributed
+    exactly as sequential sampling without replacement from ``p``
+    (Plackett–Luce equivalence).  Zero-probability entries get ``-inf``
+    keys and are only picked when fewer than ``count`` candidates carry
+    mass.  Returns indices into ``values``, sorted ascending.
+    """
+    values = np.asarray(values, dtype=float)
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    count = min(count, values.size)
+    probs = gaussian_quartile_scores(values, sigma)
+    with np.errstate(divide="ignore"):
+        keys = np.log(probs) + rng.gumbel(size=probs.size)
+    if count == probs.size:
+        return np.arange(probs.size, dtype=np.int64)
+    top = np.argpartition(keys, -count)[-count:]
+    return np.sort(top.astype(np.int64, copy=False))
 
 
 class SelectionPolicy:

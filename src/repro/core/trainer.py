@@ -98,7 +98,7 @@ class HADFLTrainer:
         # aggregate broadcast); inert without a fault model.
         self.delivery = ReliableDelivery(self.network, link_faults, retry_policy)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
-        self.volume = CommVolumeAccountant()
+        self.volume = CommVolumeAccountant(mode=self.params.accounting)
         self.sim = Simulator()
         # Local-training backend: the cluster's executor unless the
         # HADFL params override it (both are bitwise-identical to serial).

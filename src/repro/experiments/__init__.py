@@ -24,6 +24,11 @@ from repro.experiments.wire_sweep import (
     run_wire_sweep,
 )
 from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.population import (
+    PopulationConfig,
+    make_population,
+    run_population,
+)
 from repro.experiments.worstcase import WorstCaseReport, run_worstcase
 from repro.experiments.ablations import (
     ablate_mix_weight,
@@ -50,6 +55,9 @@ __all__ = [
     "format_wire_sweep",
     "run_fig3",
     "format_fig3",
+    "PopulationConfig",
+    "make_population",
+    "run_population",
     "run_worstcase",
     "WorstCaseReport",
     "ablate_selection_policy",

@@ -137,6 +137,15 @@ class ExperimentConfig:
     # model the cast of a narrow wire and halve/quarter every transfer.
     wire_dtype: str = "fp64"
 
+    # Device construction: "eager" builds every replica up front,
+    # "lazy" defers each until first touched (bitwise-identical
+    # trajectories — only setup cost and memory differ).
+    materialisation: str = "eager"
+
+    # CommVolumeAccountant memory mode: "exact" keeps per-transfer
+    # records, "aggregate" keeps only running totals (same snapshot()).
+    accounting: str = "exact"
+
     # Chaos layer (all off by default — fault-free runs are bitwise
     # identical to a config without these knobs).  Device faults:
     # Poisson crash windows at ``failure_rate`` per device per virtual
@@ -344,6 +353,7 @@ class ExperimentConfig:
             wire=self.wire_dtype,
             link_faults=link_faults,
             retry_policy=retry_policy,
+            materialisation=self.materialisation,
         )
 
     def hadfl_params(self) -> HADFLParams:
@@ -358,6 +368,7 @@ class ExperimentConfig:
             unselected_mix_weight=self.unselected_mix_weight,
             adapt_local_steps=self.adapt_local_steps,
             sync_failure_policy=self.sync_failure_policy,
+            accounting=self.accounting,
         )
 
     def describe(self) -> str:

@@ -17,7 +17,12 @@ from repro.comm.params import FlatParamCodec, ParamArena
 from repro.comm.wire import WireFormat, WireSpec, get_wire_format
 from repro.data.dataset import Dataset, Subset
 from repro.data.loader import BatchCycler
-from repro.data.partition import partition_dirichlet, partition_iid
+from repro.data.partition import (
+    DirichletShardSpec,
+    ExplicitShardSpec,
+    IIDShardSpec,
+    ShardSpec,
+)
 from repro.nn.fleet import FleetModule, fleet_capable
 from repro.nn.layers import Dropout
 from repro.nn.losses import CrossEntropyLoss, accuracy
@@ -95,6 +100,15 @@ class SimulatedCluster:
         network model, which is aligned automatically).  The default
         lossless fp64 wire leaves trajectories bitwise identical to a
         simulator with no wire layer.
+    materialisation:
+        ``"eager"`` (default) builds every device replica at
+        construction; ``"lazy"`` defers each device until first touched
+        (via ``devices[i]``, ``device_by_id`` or iteration), so setup
+        cost and memory scale with the devices a run actually exercises.
+        Every per-device random draw derives from ``SeedSequence([seed,
+        device_id])`` — independent of construction *order* — so lazy
+        trajectories are bitwise identical to eager on fixed seeds
+        (pinned by ``tests/test_population.py``).
     """
 
     def __init__(
@@ -116,7 +130,13 @@ class SimulatedCluster:
         wire: WireSpec = None,
         link_faults: Optional[LinkFaultModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        materialisation: str = "eager",
     ) -> None:
+        if materialisation not in ("eager", "lazy"):
+            raise ValueError(
+                "materialisation must be one of eager/lazy, "
+                f"got {materialisation!r}"
+            )
         if not specs:
             raise ValueError("need at least one device spec")
         ids = [s.device_id for s in specs]
@@ -199,59 +219,107 @@ class SimulatedCluster:
             self.initial_params, self.initial_params
         )
 
-        shards = self._make_shards(partition, dirichlet_alpha)
-        self.devices: List[Device] = []
-        for spec, shard in zip(self.specs, shards):
-            device_rng = np.random.default_rng(
-                np.random.SeedSequence([seed, spec.device_id])
-            )
-            model = model_factory(np.random.default_rng(seed))
-            device = Device(
-                spec=spec,
-                model=model,
-                optimizer=optimizer_factory(model.parameters()),
-                cycler=BatchCycler(
-                    Subset(train_set, shard), batch_size, rng=device_rng
-                ),
-                lr_schedule=lr_schedule,
-                seed=int(device_rng.integers(0, 2**31 - 1)),
-            )
-            device.set_params(self._initial_payload)
-            self.devices.append(device)
+        self._model_factory = model_factory
+        self._optimizer_factory = optimizer_factory
+        self._batch_size = batch_size
+        self._shard_spec = self._make_shard_spec(partition, dirichlet_alpha)
+        self._id_to_index = {s.device_id: i for i, s in enumerate(self.specs)}
+        self.materialisation = materialisation
+        if materialisation == "eager":
+            self._devices: Sequence[Device] = [
+                self._build_device(i) for i in range(len(self.specs))
+            ]
+        else:
+            self._devices = _LazyDeviceList(self)
 
     # ------------------------------------------------------------------ #
-    def _make_shards(
+    def _build_device(self, index: int) -> Device:
+        """Construct device ``index`` exactly as the eager loop always has.
+
+        Every random draw derives from the master seed and the device's
+        *id* (never from how many devices were built before), so a
+        device materialised lazily in any order is bitwise identical to
+        its eager twin.
+        """
+        spec = self.specs[index]
+        device_rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, spec.device_id])
+        )
+        model = self._model_factory(np.random.default_rng(self.seed))
+        device = Device(
+            spec=spec,
+            model=model,
+            optimizer=self._optimizer_factory(model.parameters()),
+            cycler=BatchCycler(
+                Subset(self.train_set, self._shard_spec.shard(index)),
+                self._batch_size,
+                rng=device_rng,
+            ),
+            lr_schedule=self.lr_schedule,
+            seed=int(device_rng.integers(0, 2**31 - 1)),
+        )
+        device.set_params(self._initial_payload)
+        return device
+
+    def _make_shard_spec(
         self,
-        partition: Union[str, Sequence[Sequence[int]]],
+        partition: Union[str, Sequence[Sequence[int]], ShardSpec],
         dirichlet_alpha: float,
-    ) -> List[np.ndarray]:
+    ) -> ShardSpec:
         k = len(self.specs)
+        if isinstance(partition, ShardSpec):
+            if partition.num_devices != k:
+                raise ValueError(
+                    f"{partition.num_devices} shards for {k} devices"
+                )
+            return partition
         if isinstance(partition, str):
             part_rng = np.random.default_rng(
                 np.random.SeedSequence([self.seed, 0xDA7A])
             )
             if partition == "iid":
-                return partition_iid(len(self.train_set), k, rng=part_rng)
+                return IIDShardSpec(len(self.train_set), k, rng=part_rng)
             if partition == "dirichlet":
-                return partition_dirichlet(
+                return DirichletShardSpec(
                     self.train_set.labels, k, alpha=dirichlet_alpha, rng=part_rng
                 )
             raise ValueError(f"unknown partition scheme {partition!r}")
-        shards = [np.asarray(p) for p in partition]
-        if len(shards) != k:
-            raise ValueError(f"{len(shards)} shards for {k} devices")
-        return shards
+        spec = ExplicitShardSpec(partition)
+        if spec.num_devices != k:
+            raise ValueError(f"{spec.num_devices} shards for {k} devices")
+        return spec
 
     # ------------------------------------------------------------------ #
     @property
+    def devices(self) -> Sequence[Device]:
+        """Device replicas — a plain list when eager, a caching lazy
+        sequence otherwise (identical devices either way)."""
+        return self._devices
+
+    def _materialised(self) -> List[Device]:
+        """Already-built devices only — never triggers materialisation.
+
+        Lazy aggregate queries run over this: an unmaterialised device
+        is *by construction* still in its initial state (version 0,
+        nothing consumed), so skipping it changes no aggregate.
+        """
+        if isinstance(self._devices, _LazyDeviceList):
+            return self._devices.materialised()
+        return list(self._devices)
+
+    @property
+    def materialised_count(self) -> int:
+        return len(self._materialised())
+
+    @property
     def device_ids(self) -> List[int]:
-        return [d.device_id for d in self.devices]
+        return [s.device_id for s in self.specs]
 
     def device_by_id(self, device_id: int) -> Device:
-        for device in self.devices:
-            if device.device_id == device_id:
-                return device
-        raise KeyError(f"no device with id {device_id}")
+        index = self._id_to_index.get(device_id)
+        if index is None:
+            raise KeyError(f"no device with id {device_id}")
+        return self._devices[index]
 
     def alive_devices(self, time: float) -> List[Device]:
         return [
@@ -284,11 +352,16 @@ class SimulatedCluster:
         With the paper's even 4-way split, one global epoch corresponds to
         every device finishing one pass over its shard.
         """
-        consumed = sum(d.cycler.samples_consumed for d in self.devices)
+        consumed = sum(d.cycler.samples_consumed for d in self._materialised())
         return consumed / self.total_train_samples
 
     def mean_local_version(self) -> float:
-        return float(np.mean([d.version for d in self.devices]))
+        # Unmaterialised devices are at version 0 by construction; the
+        # zeros participate in the mean so lazy and eager agree bitwise.
+        versions = [0] * len(self.specs)
+        for device in self._materialised():
+            versions[self._id_to_index[device.device_id]] = device.version
+        return float(np.mean(versions))
 
     # ------------------------------------------------------------------ #
     def evaluate_params(
@@ -485,10 +558,49 @@ class SimulatedCluster:
         return np.mean([d.get_params_view() for d in targets], axis=0)
 
     def reset(self) -> None:
-        """Restore every device to the initial model and zero the clocks."""
-        for device in self.devices:
+        """Restore every device to the initial model and zero the clocks.
+
+        Lazy clusters reset only materialised devices — the rest never
+        left their initial state (cycler and RNG positions are *not*
+        reset in eager mode either, so the semantics match exactly).
+        """
+        for device in self._materialised():
             device.set_params(self._initial_payload)
             device.version = 0
             device.busy_until = 0.0
             if hasattr(device.optimizer, "reset_state"):
                 device.optimizer.reset_state()
+
+
+class _LazyDeviceList(Sequence):
+    """Sequence view over a lazy cluster's devices.
+
+    Indexing (and iteration, via the Sequence protocol) materialises the
+    requested device through :meth:`SimulatedCluster._build_device` and
+    caches it, so each device is built exactly once and repeated access
+    is a dict hit.  Identity is stable: ``devices[i] is devices[i]``.
+    """
+
+    def __init__(self, cluster: SimulatedCluster) -> None:
+        self._cluster = cluster
+        self._cache: Dict[int, Device] = {}
+
+    def __len__(self) -> int:
+        return len(self._cluster.specs)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"device index {index} out of range")
+        device = self._cache.get(index)
+        if device is None:
+            device = self._cluster._build_device(index)
+            self._cache[index] = device
+        return device
+
+    def materialised(self) -> List[Device]:
+        """Built devices in spec order, without building any more."""
+        return [self._cache[i] for i in sorted(self._cache)]

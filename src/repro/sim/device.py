@@ -92,6 +92,7 @@ class Device:
         lr_schedule: Optional[LRSchedule] = None,
         loss_fn: Optional[Module] = None,
         seed: Optional[int] = None,
+        arena: Optional[ParamArena] = None,
     ) -> None:
         self.spec = spec
         self.model = model
@@ -103,8 +104,11 @@ class Device:
         # (and binds every parameter gradient into its flat grad vector);
         # all parameter traffic below goes through it, and the train loop's
         # zero_grad/step hit the optimizer's flat fill / zero-copy grad
-        # fast paths.
-        self.arena = ParamArena(model)
+        # fast paths.  Pool-recycled devices pass the block's existing
+        # arena: a fresh ParamArena over the same model would re-bind
+        # parameter storage and silently break the fused optimizer's
+        # adopted flat-vector aliasing.
+        self.arena = ParamArena(model) if arena is None else arena
         self._codec: Optional[FlatParamCodec] = None
         self.version = 0
         self.busy_until = 0.0

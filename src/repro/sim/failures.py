@@ -181,6 +181,21 @@ class FailureInjector:
             downtime += min(up, horizon) - down
         return 1.0 - downtime / horizon
 
+    def alive_mask(self, device_ids: np.ndarray, time: float) -> np.ndarray:
+        """Vectorised :meth:`is_alive` over an id array.
+
+        Cost is ``O(devices_with_windows · log windows)`` plus one
+        ``np.isin`` — *not* ``O(population)`` per-device Python calls —
+        so population-scale availability checks stay in vector land.
+        Devices without any crash window never enter the scan.
+        """
+        device_ids = np.asarray(device_ids)
+        mask = np.ones(device_ids.size, dtype=bool)
+        dead = [d for d in self._windows if not self.is_alive(d, time)]
+        if dead:
+            mask &= ~np.isin(device_ids, dead)
+        return mask
+
     def windows_for(self, device_id: int) -> List[FailureWindow]:
         return list(self._windows.get(device_id, ()))
 
@@ -257,3 +272,192 @@ class FailureInjector:
                 injector.slow(device, t, t + duration, slowdown_factor)
                 t += duration
         return injector
+
+
+# ---------------------------------------------------------------------- #
+# Population availability models
+# ---------------------------------------------------------------------- #
+#
+# Crash windows (above) enumerate per-device intervals — exact, but the
+# schedule itself is O(population).  Availability models answer the same
+# "who is reachable at time t?" question *functionally*: a device's
+# availability is computed on demand from a hash of its id, so a
+# million-device schedule costs nothing to store and a round's mask is a
+# handful of vector ops.  The two layers compose — the population
+# trainer ANDs the model's mask with ``FailureInjector.alive_mask`` so
+# chaos-injected crashes still bite devices the model deems available.
+
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _hash_uniform(device_ids: np.ndarray, salt: int) -> np.ndarray:
+    """Deterministic per-device uniforms in ``[0, 1)`` via splitmix64.
+
+    A keyed integer hash, not a Generator: re-derivable for any id
+    subset in any order (no stream to advance), independent of
+    ``PYTHONHASHSEED``, and vectorised over uint64 arrays (whose
+    arithmetic wraps mod 2^64 by construction).
+    """
+    z = device_ids.astype(_U64, copy=True)
+    z += _U64((salt * 0x9E3779B97F4A7C15) & _MASK64)
+    z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+    z ^= z >> _U64(31)
+    return (z >> _U64(11)).astype(np.float64) * (1.0 / (1 << 53))
+
+
+class AvailabilityModel:
+    """Base class: ``device available at time t?`` without per-device state.
+
+    Subclasses derive each device's availability from ``(device_id,
+    time)`` alone, so the model is O(1) memory regardless of population
+    size and any subset of devices can be queried independently.
+    """
+
+    def fraction(self, time: float) -> float:
+        """Nominal fraction of the population available at ``time``."""
+        raise NotImplementedError
+
+    def available_mask(self, device_ids: np.ndarray, time: float) -> np.ndarray:
+        """Boolean mask over ``device_ids``: available at ``time``?"""
+        raise NotImplementedError
+
+    def is_available(self, device_id: int, time: float) -> bool:
+        """Scalar convenience over :meth:`available_mask`."""
+        mask = self.available_mask(np.asarray([device_id], dtype=np.int64), time)
+        return bool(mask[0])
+
+
+class AlwaysAvailable(AvailabilityModel):
+    """Every device reachable at every instant (the eager-cluster default)."""
+
+    def fraction(self, time: float) -> float:
+        return 1.0
+
+    def available_mask(self, device_ids: np.ndarray, time: float) -> np.ndarray:
+        return np.ones(np.asarray(device_ids).size, dtype=bool)
+
+
+class DiurnalAvailability(AvailabilityModel):
+    """Sinusoidal day/night availability with per-device phase jitter.
+
+    The population-level availability follows the classic diurnal curve
+    (cf. the cross-device FL literature: phones charge overnight)::
+
+        f(t) = low + (high − low) · (0.5 + 0.5·sin(2πt / period))
+
+    Each device holds a fixed hashed uniform ``u_d`` and a hashed phase
+    offset ``p_d`` of at most ``phase_spread × period``; it is available
+    iff ``u_d < f(t + p_d)``.  Devices with small ``u_d`` are
+    almost-always-on, large ``u_d`` almost-always-off, and the band in
+    between churns as the threshold sweeps — the participant-churn
+    dynamic the heterogeneity surveys identify, with zero per-device
+    stored state.
+    """
+
+    _SALT_LEVEL = 0xD1A1
+    _SALT_PHASE = 0xD1A2
+
+    def __init__(
+        self,
+        period: float = 24.0,
+        low: float = 0.3,
+        high: float = 0.9,
+        phase_spread: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(
+                f"need 0 <= low <= high <= 1, got low={low}, high={high}"
+            )
+        if not 0.0 <= phase_spread <= 1.0:
+            raise ValueError(
+                f"phase_spread must be in [0, 1], got {phase_spread}"
+            )
+        self.period = float(period)
+        self.low = float(low)
+        self.high = float(high)
+        self.phase_spread = float(phase_spread)
+        self.seed = int(seed)
+
+    def fraction(self, time: float) -> float:
+        cycle = 0.5 + 0.5 * np.sin(2.0 * np.pi * time / self.period)
+        return float(self.low + (self.high - self.low) * cycle)
+
+    def available_mask(self, device_ids: np.ndarray, time: float) -> np.ndarray:
+        ids = np.asarray(device_ids)
+        level = _hash_uniform(ids, self.seed * 31 + self._SALT_LEVEL)
+        phase = _hash_uniform(ids, self.seed * 31 + self._SALT_PHASE)
+        phase = (phase - 0.5) * self.phase_spread * self.period
+        cycle = 0.5 + 0.5 * np.sin(2.0 * np.pi * (time + phase) / self.period)
+        return level < self.low + (self.high - self.low) * cycle
+
+
+class TraceAvailability(AvailabilityModel):
+    """Availability driven by a measured ``(time, fraction)`` trace.
+
+    ``fraction(t)`` linearly interpolates the trace (clamping outside
+    its span, per ``np.interp``).  Device membership: ``u_d < f(t)``
+    with hashed uniforms, optionally re-hashed every
+    ``reshuffle_every`` time units so *which* devices make up the
+    available fraction rotates — trace-shaped aggregate availability
+    plus churn, as production traces show.
+    """
+
+    _SALT = 0x7ACE
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        fractions: Sequence[float],
+        seed: int = 0,
+        reshuffle_every: Optional[float] = None,
+    ) -> None:
+        times_arr = np.asarray(times, dtype=float)
+        fractions_arr = np.asarray(fractions, dtype=float)
+        if times_arr.ndim != 1 or times_arr.size < 2:
+            raise ValueError("need at least two trace points")
+        if times_arr.shape != fractions_arr.shape:
+            raise ValueError(
+                f"times and fractions must match, got {times_arr.shape} "
+                f"vs {fractions_arr.shape}"
+            )
+        if (np.diff(times_arr) <= 0).any():
+            raise ValueError("trace times must be strictly increasing")
+        if ((fractions_arr < 0) | (fractions_arr > 1)).any():
+            raise ValueError("trace fractions must lie in [0, 1]")
+        if reshuffle_every is not None and reshuffle_every <= 0:
+            raise ValueError(
+                f"reshuffle_every must be positive, got {reshuffle_every}"
+            )
+        self.times = times_arr
+        self.fractions = fractions_arr
+        self.seed = int(seed)
+        self.reshuffle_every = reshuffle_every
+
+    def fraction(self, time: float) -> float:
+        return float(np.interp(time, self.times, self.fractions))
+
+    def available_mask(self, device_ids: np.ndarray, time: float) -> np.ndarray:
+        ids = np.asarray(device_ids)
+        epoch = 0
+        if self.reshuffle_every is not None:
+            epoch = int(time // self.reshuffle_every)
+        level = _hash_uniform(ids, self.seed * 31 + self._SALT + epoch)
+        return level < self.fraction(time)
+
+
+def make_availability_model(
+    name: str, seed: int = 0, **kwargs: float
+) -> AvailabilityModel:
+    """Build an availability model by config name (``always``/``diurnal``)."""
+    if name == "always":
+        return AlwaysAvailable()
+    if name == "diurnal":
+        return DiurnalAvailability(seed=seed, **kwargs)
+    raise KeyError(
+        f"unknown availability model {name!r}; choose from ['always', 'diurnal']"
+    )

@@ -1,0 +1,770 @@
+"""Virtual device populations: specs until selected, arenas from a pool.
+
+Production cross-device federations select a few hundred participants
+per round from populations of 10^5–10^6 devices.  Building a
+:class:`~repro.sim.cluster.SimulatedCluster` at that scale is hopeless —
+it materialises a model replica, optimizer flats and a data shard for
+*every* device — so this module keeps the population **virtual**:
+
+* :class:`PopulationSpecs` — the entire population as O(1) state: a
+  power profile (cycled levels), a lazy shard descriptor
+  (:class:`~repro.data.partition.ShardSpec`) and an availability model
+  (:class:`~repro.sim.failures.AvailabilityModel`).  A device *is* its
+  id until the round it participates.
+* :class:`ArenaPool` — a bounded pool of recycled ``(params, grad,
+  optimizer-flat)`` blocks.  Releasing a block scrubs it back to the
+  template bitwise (params = initial payload, grads = 0, optimizer
+  moments = 0, scalars and module RNG streams = construction state), so
+  a recycled block is indistinguishable from a fresh one — the
+  invariant ``tests/test_population.py`` pins.
+* :class:`VirtualPopulation` — materialises a selected device from a
+  pool block + its spec, and round-trips persistent per-device state
+  (version counter, optimizer moments, batch cursor, RNG streams)
+  through the existing ``export_train_state`` / ``import_train_state``
+  machinery on release, so a device that participates twice continues
+  its local trajectory exactly.
+* :class:`PopulationTrainer` — HADFL-style rounds over the virtual
+  population: availability mask → vectorised Eq. 8 scoring over the
+  version array → Gumbel top-k participant draw → dense dispatch →
+  deadline-bounded local bursts → fault-tolerant ring sync.  Memory
+  and per-round compute scale with *participants*; only O(population)
+  vector state (the version array, availability hashes) scales with
+  the population.
+
+Per-round churn, straggler tail percentiles and hotspot received-bytes
+land in ``RoundRecord.detail``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.comm.params import FlatParamCodec, ParamArena
+from repro.comm.ring_repair import FaultTolerantRingSync
+from repro.comm.volume import CommVolumeAccountant
+from repro.comm.wire import WireFormat, WireSpec, get_wire_format
+from repro.core.selection import sample_participants
+from repro.data.dataset import Dataset, Subset
+from repro.data.loader import BatchCycler
+from repro.data.partition import SampledShardSpec, ShardSpec
+from repro.metrics.records import RoundRecord, RunResult
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.optim.base import Optimizer
+from repro.optim.lr_schedules import LRSchedule
+from repro.optim.sgd import SGD
+from repro.parallel.tasks import LocalTrainTask
+from repro.sim.device import Device, DeviceSpec
+from repro.sim.engine import Simulator
+from repro.sim.executor import LocalExecutor, make_executor
+from repro.sim.failures import (
+    AlwaysAvailable,
+    AvailabilityModel,
+    FailureInjector,
+)
+from repro.sim.network import NetworkModel, align_network_granularity
+
+
+class PopulationSpecs:
+    """The whole population as a handful of scalars and descriptors.
+
+    Parameters
+    ----------
+    size:
+        Number of virtual devices (ids ``0 .. size-1``).
+    shards:
+        Lazy shard descriptor; ``shards.num_devices`` must equal
+        ``size``.  :class:`~repro.data.partition.SampledShardSpec` is
+        the natural choice at population scale (O(1) state, per-device
+        seeded draws).
+    power_levels:
+        Relative compute powers, dealt round-robin over device ids
+        (device ``d`` has power ``power_levels[d % len(power_levels)]``)
+        — the population analogue of the paper's ratio arrays.
+    base_step_time:
+        Virtual seconds one local step costs the *strongest* level
+        (fastest-native normalisation, matching
+        :func:`~repro.experiments.configs.specs_from_power_ratio`).
+    availability:
+        Functional availability model; defaults to
+        :class:`~repro.sim.failures.AlwaysAvailable`.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        shards: ShardSpec,
+        power_levels: Sequence[float] = (1.0,),
+        base_step_time: float = 0.1,
+        availability: Optional[AvailabilityModel] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"population size must be >= 1, got {size}")
+        if shards.num_devices != size:
+            raise ValueError(
+                f"shard spec covers {shards.num_devices} devices for a "
+                f"population of {size}"
+            )
+        levels = np.asarray(power_levels, dtype=float)
+        if levels.size == 0 or (levels <= 0).any():
+            raise ValueError("power_levels must be non-empty and positive")
+        if base_step_time <= 0:
+            raise ValueError(
+                f"base_step_time must be positive, got {base_step_time}"
+            )
+        self.size = int(size)
+        self.shards = shards
+        self.power_levels = levels
+        self.base_step_time = float(base_step_time)
+        self.availability = availability or AlwaysAvailable()
+        self._device_ids = np.arange(self.size, dtype=np.int64)
+
+    @property
+    def device_ids(self) -> np.ndarray:
+        """All ids, ``int64`` — shared array, do not mutate."""
+        return self._device_ids
+
+    def powers(self, device_ids: np.ndarray) -> np.ndarray:
+        """Vectorised power lookup for an id array."""
+        ids = np.asarray(device_ids)
+        return self.power_levels[ids % self.power_levels.size]
+
+    def device_spec(self, device_id: int) -> DeviceSpec:
+        """The full :class:`DeviceSpec` of one device, built on demand."""
+        if not 0 <= device_id < self.size:
+            raise IndexError(
+                f"device {device_id} out of range for population of {self.size}"
+            )
+        power = float(self.power_levels[device_id % self.power_levels.size])
+        return DeviceSpec(
+            device_id=int(device_id),
+            power=power,
+            base_step_time=self.base_step_time * float(self.power_levels.max()),
+        )
+
+    @classmethod
+    def sampled(
+        cls,
+        size: int,
+        num_samples: int,
+        shard_size: int,
+        power_levels: Sequence[float] = (1.0,),
+        base_step_time: float = 0.1,
+        availability: Optional[AvailabilityModel] = None,
+        seed: int = 0,
+    ) -> "PopulationSpecs":
+        """Convenience: population over per-device sampled shards."""
+        return cls(
+            size,
+            SampledShardSpec(num_samples, size, shard_size, seed=seed),
+            power_levels=power_levels,
+            base_step_time=base_step_time,
+            availability=availability,
+        )
+
+
+class ArenaBlock:
+    """One recyclable replica slot: model + arena + optimizer.
+
+    The fused optimizer adopted the arena's flat storage at
+    construction, so the three objects travel together for the block's
+    whole life — a materialised device *borrows* them (via the
+    ``arena=`` hand-off in :class:`~repro.sim.device.Device`), never
+    rebuilds them.
+    """
+
+    def __init__(
+        self, model: Module, arena: ParamArena, optimizer: Optimizer
+    ) -> None:
+        self.model = model
+        self.arena = arena
+        self.optimizer = optimizer
+        self.initial_scalars = dict(optimizer.scalar_state())
+        self.initial_module_rng_states = [
+            rng.bit_generator.state for rng in self.module_rngs()
+        ]
+
+    def module_rngs(self) -> List[np.random.Generator]:
+        """Per-layer generators that draw at forward time (e.g. Dropout)."""
+        return [
+            module._rng
+            for module in self.model.modules()
+            if isinstance(getattr(module, "_rng", None), np.random.Generator)
+        ]
+
+
+class ArenaPool:
+    """Bounded pool of scrubbed-on-release replica blocks.
+
+    ``acquire`` hands out a free block (or builds one — every build uses
+    ``model_factory(default_rng(seed))``, the same construction a
+    :class:`SimulatedCluster` device gets, so all blocks are identical).
+    ``release`` scrubs the block back to template state **bitwise**:
+    parameters ← template, gradient vector ← 0, optimizer flat vectors
+    ← 0, optimizer scalars ← construction values, module RNG streams ←
+    construction states.  Peak memory is ``max_resident`` blocks —
+    O(max concurrent participants), never O(population).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[np.random.Generator], Module],
+        optimizer_factory: Callable[[list], Optimizer],
+        template: np.ndarray,
+        seed: int = 0,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._model_factory = model_factory
+        self._optimizer_factory = optimizer_factory
+        self._template = np.array(template, copy=True)
+        self._seed = int(seed)
+        self._free: List[ArenaBlock] = []
+        self.capacity = capacity
+        self.created = 0
+        self.in_use = 0
+        self.recycled = 0
+        self.max_resident = 0
+
+    def acquire(self) -> ArenaBlock:
+        """A clean block: recycled when one is free, freshly built otherwise."""
+        if self._free:
+            block = self._free.pop()
+            self.recycled += 1
+        else:
+            if self.capacity is not None and self.created >= self.capacity:
+                raise RuntimeError(
+                    f"arena pool exhausted: capacity {self.capacity}, all in use"
+                )
+            model = self._model_factory(np.random.default_rng(self._seed))
+            arena = ParamArena(model)
+            arena.write(self._template)
+            block = ArenaBlock(model, arena, self._optimizer_factory(model.parameters()))
+            self.created += 1
+        self.in_use += 1
+        self.max_resident = max(self.max_resident, self.created)
+        return block
+
+    def release(self, block: ArenaBlock) -> None:
+        """Scrub ``block`` back to template state and return it to the pool."""
+        block.arena.write(self._template)
+        block.arena.zero_grads()
+        for vec in block.optimizer.flat_state():
+            vec[...] = 0.0
+        block.optimizer.load_scalar_state(block.initial_scalars)
+        for rng, state in zip(block.module_rngs(), block.initial_module_rng_states):
+            rng.bit_generator.state = state
+        self.in_use -= 1
+        self._free.append(block)
+
+    def stats(self) -> Dict[str, int]:
+        """Pool telemetry: blocks ever built, high-water mark, reuse count."""
+        return {
+            "created": self.created,
+            "in_use": self.in_use,
+            "recycled": self.recycled,
+            "max_resident": self.max_resident,
+        }
+
+
+class VirtualPopulation:
+    """Materialise-on-selection view over a :class:`PopulationSpecs`.
+
+    Holds the population-wide version array (the Eq. 8 input), the
+    arena pool, the persistence ledger for devices that already
+    participated, and the shared evaluation replica.  Duck-types the
+    slice of the cluster API the executors need (``device_by_id``), so
+    the serial/thread/fleet backends run population bursts unchanged.
+
+    Parameters mirror :class:`~repro.sim.cluster.SimulatedCluster`
+    where they overlap; ``pool_capacity`` bounds concurrently
+    materialised devices (``None``: unbounded, high-water mark still
+    tracked) and ``persist_state`` controls whether a released device's
+    training state (optimizer moments, batch cursor, RNG streams) is
+    kept for its next participation.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[np.random.Generator], Module],
+        train_set: Dataset,
+        specs: PopulationSpecs,
+        batch_size: int = 32,
+        optimizer_factory: Optional[Callable[[list], Optimizer]] = None,
+        lr_schedule: Optional[LRSchedule] = None,
+        network: Optional[NetworkModel] = None,
+        failure_injector: Optional[FailureInjector] = None,
+        seed: int = 0,
+        wire: WireSpec = None,
+        test_set: Optional[Dataset] = None,
+        pool_capacity: Optional[int] = None,
+        persist_state: bool = True,
+    ) -> None:
+        self.specs = specs
+        self.train_set = train_set
+        self.test_set = test_set
+        self.lr_schedule = lr_schedule
+        self.seed = int(seed)
+        self.batch_size = int(batch_size)
+        self.failures = failure_injector or FailureInjector()
+        self.availability = specs.availability
+        self.persist_state = persist_state
+        self.wire: WireFormat = get_wire_format(wire)
+        network = network or NetworkModel(
+            bytes_per_scalar=self.wire.bytes_per_scalar
+        )
+        self.network = align_network_granularity(network, self.wire)
+        optimizer_factory = optimizer_factory or (
+            lambda params: SGD(params, lr=0.01)
+        )
+
+        # Shared evaluation replica + initial model, exactly as the
+        # eager cluster builds them.
+        self._eval_model = model_factory(np.random.default_rng(seed))
+        self._eval_arena = ParamArena(self._eval_model, bind_grads=False)
+        self.codec = FlatParamCodec(self._eval_model)
+        self.initial_params = self.codec.flatten(self._eval_model)
+        self.model_nbytes = self.wire.payload_nbytes(self.initial_params)
+        self._loss_fn = CrossEntropyLoss()
+        self._initial_payload, _ = self.wire.transmit_delta_with_error(
+            self.initial_params, self.initial_params
+        )
+
+        self.pool = ArenaPool(
+            model_factory,
+            optimizer_factory,
+            self._initial_payload,
+            seed=seed,
+            capacity=pool_capacity,
+        )
+        # O(population) *vector* state — 8 bytes per device, the only
+        # thing here that scales with the population.
+        self.versions = np.zeros(specs.size, dtype=np.int64)
+        # Persistent state of released participants, keyed by device id:
+        # O(devices that ever participated), not O(population).
+        self._ledger: Dict[int, dict] = {}
+        self._active: Dict[int, Device] = {}
+        self._blocks: Dict[int, ArenaBlock] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return self.specs.size
+
+    @property
+    def total_train_samples(self) -> int:
+        return len(self.train_set)
+
+    def available_ids(self, time: float) -> np.ndarray:
+        """Device ids reachable at ``time``: availability model AND
+        failure-injector liveness, both vectorised."""
+        ids = self.specs.device_ids
+        mask = self.availability.available_mask(ids, time)
+        mask &= self.failures.alive_mask(ids, time)
+        return ids[mask]
+
+    def device_by_id(self, device_id: int) -> Device:
+        """The *materialised* device — executors resolve tasks through
+        this, so only current participants are reachable."""
+        device = self._active.get(int(device_id))
+        if device is None:
+            raise KeyError(f"no device with id {device_id}")
+        return device
+
+    @property
+    def active_ids(self) -> List[int]:
+        return sorted(self._active)
+
+    # ------------------------------------------------------------------ #
+    def materialise(self, device_id: int) -> Device:
+        """Bring one device to life from a pool block.
+
+        A first-time participant starts from the template (initial
+        payload, fresh optimizer, construction RNG streams) with its
+        deterministic per-device seeds — the same ``SeedSequence([seed,
+        device_id])`` derivation the eager cluster uses.  A returning
+        participant additionally restores its persisted training state,
+        so its local trajectory continues where it left off.
+        """
+        device_id = int(device_id)
+        existing = self._active.get(device_id)
+        if existing is not None:
+            return existing
+        block = self.pool.acquire()
+        spec = self.specs.device_spec(device_id)
+        device_rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, device_id])
+        )
+        shard = self.specs.shards.shard(device_id)
+        device = Device(
+            spec=spec,
+            model=block.model,
+            optimizer=block.optimizer,
+            cycler=BatchCycler(
+                Subset(self.train_set, shard), self.batch_size, rng=device_rng
+            ),
+            lr_schedule=self.lr_schedule,
+            seed=int(device_rng.integers(0, 2**31 - 1)),
+            arena=block.arena,
+        )
+        state = self._ledger.get(device_id)
+        if state is not None:
+            device.import_train_state(state["train"])
+            for live, saved in zip(device.optimizer.flat_state(), state["opt"]):
+                live[...] = saved
+        self._active[device_id] = device
+        self._blocks[device_id] = block
+        return device
+
+    def release(self, device_id: int) -> None:
+        """Return a participant's block to the pool, persisting its state."""
+        device_id = int(device_id)
+        device = self._active.pop(device_id)
+        block = self._blocks.pop(device_id)
+        self.versions[device_id] = device.version
+        if self.persist_state:
+            self._ledger[device_id] = {
+                "train": device.export_train_state(),
+                "opt": [
+                    np.array(vec, copy=True)
+                    for vec in device.optimizer.flat_state()
+                ],
+            }
+        self.pool.release(block)
+
+    def release_all(self) -> None:
+        for device_id in sorted(self._active):
+            self.release(device_id)
+
+    # ------------------------------------------------------------------ #
+    def evaluate_params(
+        self, flat: np.ndarray, batch_size: int = 256
+    ) -> Tuple[float, float]:
+        """Test-set (loss, accuracy) of a flat parameter vector."""
+        if self.test_set is None:
+            raise ValueError("population was built without a test set")
+        self._eval_arena.write(flat)
+        self._eval_model.eval()
+        features = self.test_set.features
+        labels = self.test_set.labels
+        total_loss, correct, count = 0.0, 0.0, 0
+        with no_grad():
+            for start in range(0, len(features), batch_size):
+                fb = features[start : start + batch_size]
+                lb = labels[start : start + batch_size]
+                logits = self._eval_model(Tensor(fb))
+                total_loss += float(self._loss_fn(logits, lb).data) * len(lb)
+                correct += accuracy(logits, lb) * len(lb)
+                count += len(lb)
+        return total_loss / count, correct / count
+
+
+class PopulationTrainer:
+    """HADFL-style federated rounds over a virtual population.
+
+    Each round: availability mask → Eq. 8 scoring over the population
+    version array (vectorised) → Gumbel top-k draw of ``participants``
+    devices → dense model dispatch → deadline-bounded local bursts →
+    fault-tolerant ring sync among the participants → release back to
+    the pool.  There is no broadcast to non-participants: a virtual
+    device that sat a round out receives the *current* global model
+    when next selected, which is what the dispatch models.
+
+    Parameters
+    ----------
+    population:
+        The :class:`VirtualPopulation` under training.
+    participants:
+        Devices selected per round (the ``N_p`` of Eq. 8).
+    round_window:
+        Virtual seconds of local training per round (the sync window).
+    selection_sigma:
+        Kernel width of Eq. 8, in spread units.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"fleet"`` — the process backend
+        needs a full device list and is not supported for populations.
+    accounting:
+        Accountant mode; defaults to ``"aggregate"`` (bounded memory).
+    """
+
+    def __init__(
+        self,
+        population: VirtualPopulation,
+        participants: int = 100,
+        round_window: float = 1.0,
+        selection_sigma: float = 1.0,
+        sync_wait_time: float = 0.05,
+        seed: int = 0,
+        executor: Union[str, LocalExecutor] = "serial",
+        executor_workers: Optional[int] = None,
+        accounting: str = "aggregate",
+    ) -> None:
+        if participants < 1:
+            raise ValueError(f"participants must be >= 1, got {participants}")
+        if round_window <= 0:
+            raise ValueError(
+                f"round_window must be positive, got {round_window}"
+            )
+        if isinstance(executor, str) and executor == "process":
+            raise ValueError(
+                "the process executor ships a full device list and is not "
+                "supported for virtual populations; use serial/thread/fleet"
+            )
+        self.population = population
+        self.participants = int(participants)
+        self.round_window = float(round_window)
+        self.selection_sigma = float(selection_sigma)
+        self.wire = population.wire
+        self.network = population.network
+        self.model_nbytes = population.model_nbytes
+        self.sync = FaultTolerantRingSync(
+            self.network, wait_time=sync_wait_time, wire=self.wire
+        )
+        self.volume = CommVolumeAccountant(mode=accounting)
+        self.sim = Simulator()
+        self.executor = make_executor(executor, executor_workers)
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([seed, 0x909])
+        )
+        self._global_params = np.array(population.initial_params, copy=True)
+        self._samples_consumed = 0
+        self._previous_participants: Optional[set] = None
+
+    def close(self) -> None:
+        """Release executor workers (idempotent)."""
+        self.executor.close()
+
+    @property
+    def global_params(self) -> np.ndarray:
+        return self._global_params
+
+    def global_epoch(self) -> float:
+        """Aggregate data passes over the whole population."""
+        return self._samples_consumed / self.population.total_train_samples
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        num_rounds: int,
+        eval_every: int = 0,
+    ) -> RunResult:
+        """Train for ``num_rounds`` rounds.
+
+        ``eval_every > 0`` evaluates the global model on the test set
+        every that many rounds (instrumentation only — needs the
+        population to carry a test set).
+        """
+        if num_rounds < 1:
+            raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        population = self.population
+        result = RunResult(
+            scheme="population_hadfl",
+            config={
+                "population": population.size,
+                "participants": self.participants,
+                "round_window": self.round_window,
+                "model_nbytes": self.model_nbytes,
+                "wire_dtype": self.wire.name,
+                "accounting_mode": self.volume.mode,
+            },
+        )
+        for round_index in range(num_rounds):
+            evaluate = bool(
+                eval_every
+                and population.test_set is not None
+                and round_index % eval_every == 0
+            )
+            result.append(self._run_round(round_index, evaluate))
+        if (
+            result.rounds
+            and population.test_set is not None
+            and result.rounds[-1].test_accuracy is None
+        ):
+            loss, acc = population.evaluate_params(self._global_params)
+            result.rounds[-1].test_loss = loss
+            result.rounds[-1].test_accuracy = acc
+        result.config["accounting"] = self.volume.snapshot()
+        result.config["pool"] = self.population.pool.stats()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _select(self, available: np.ndarray) -> np.ndarray:
+        """Eq. 8 over the availables' versions, Gumbel top-k draw."""
+        count = min(self.participants, int(available.size))
+        values = self.population.versions[available].astype(float)
+        picked = sample_participants(
+            values, count, self._rng, sigma=self.selection_sigma
+        )
+        return available[picked]
+
+    def _run_round(self, round_index: int, evaluate: bool) -> RoundRecord:
+        population = self.population
+        t_start = self.sim.now
+
+        available = population.available_ids(t_start)
+        available_fraction = available.size / population.size
+        if available.size == 0:
+            # Nobody reachable: idle through the window and try again.
+            self.sim.advance_to(t_start + self.round_window)
+            return RoundRecord(
+                round_index=round_index,
+                sim_time=self.sim.now,
+                global_epoch=self.global_epoch(),
+                train_loss=float("nan"),
+                detail={"skipped": True, "available_fraction": 0.0},
+            )
+
+        selected = self._select(available)
+        participant_list = [int(d) for d in selected]
+        participant_set = set(participant_list)
+
+        # Churn: fraction of this round's cohort that did not serve last
+        # round (1.0 for the first round — everyone is new).
+        if self._previous_participants is None:
+            churn = 1.0
+        else:
+            fresh = len(participant_set - self._previous_participants)
+            churn = fresh / len(participant_set)
+        self._previous_participants = participant_set
+
+        bytes_before = self.volume.total_bytes
+        received_before = self.volume.bytes_received_by_device()
+
+        # Dense dispatch of the current global model to each participant
+        # (no shared delta reference exists across rounds of a churning
+        # cohort, so the dispatch is priced full-width).
+        payload, dispatch_error = self.wire.transmit_with_error(
+            self._global_params
+        )
+        dispatch_nbytes = self.wire.dense_nbytes(int(self._global_params.size))
+        dispatch_time = self.network.sequential_sends_time(
+            self.model_nbytes, len(participant_list)
+        )
+        devices = {}
+        for device_id in participant_list:
+            device = population.materialise(device_id)
+            device.set_params(payload)
+            devices[device_id] = device
+            self.volume.record(
+                t_start, dispatch_nbytes, "participant_dispatch", dst=device_id
+            )
+
+        # Deadline-bounded local bursts: each participant fits as many
+        # steps as its power allows into the window, stopping early if
+        # its crash schedule takes it down.
+        t_train = t_start + dispatch_time
+        deadline = t_train + self.round_window
+        bursts = self.executor.run_tasks(
+            population,
+            [
+                LocalTrainTask(
+                    device_id=device_id,
+                    deadline=min(
+                        deadline,
+                        population.failures.next_down_time(device_id, t_train),
+                    ),
+                    start_time=t_train,
+                )
+                for device_id in participant_list
+            ],
+        )
+        losses: List[float] = []
+        elapsed: List[float] = []
+        for device_id in participant_list:
+            burst = bursts[device_id]
+            losses.extend(burst.losses)
+            elapsed.append(burst.elapsed)
+            self._samples_consumed += (
+                burst.steps * devices[device_id].cycler.batch_size
+            )
+        straggler = (
+            {
+                "p50": float(np.percentile(elapsed, 50)),
+                "p90": float(np.percentile(elapsed, 90)),
+                "p99": float(np.percentile(elapsed, 99)),
+            }
+            if elapsed
+            else {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        )
+
+        # Ring sync among the participants at the deadline.  The
+        # dispatched payload is the cohort's shared delta reference —
+        # every participant just received it.
+        self.sim.advance_to(deadline)
+        ring_order = list(participant_list)
+        if len(ring_order) > 1:
+            self._rng.shuffle(ring_order)
+        vectors = {
+            device_id: devices[device_id].get_params_view()
+            for device_id in participant_list
+        }
+        sync_result = self.sync.run(
+            self.sim,
+            ring_order,
+            vectors,
+            lambda d, t: population.failures.is_alive(d, t),
+            self.model_nbytes,
+            reference=payload,
+        )
+        self.volume.record(self.sim.now, sync_result.bytes_sent, "partial_sync")
+        sync_failed = sync_result.aggregated is None
+        if not sync_failed:
+            self._global_params = sync_result.aggregated
+
+        # Hotspot: the largest received-bytes delta any participant saw
+        # this round (dispatch plus any dst-tagged sync traffic).
+        received_after = self.volume.bytes_received_by_device()
+        hotspot_bytes = max(
+            received_after.get(d, 0) - received_before.get(d, 0)
+            for d in participant_list
+        )
+
+        versions = {
+            device_id: devices[device_id].version
+            for device_id in participant_list
+        }
+        for device_id in participant_list:
+            population.release(device_id)
+
+        record = RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=self.global_epoch(),
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            selected=participant_list,
+            versions=versions,
+            comm_bytes=self.volume.total_bytes - bytes_before,
+            bypasses=len(sync_result.bypasses),
+            detail={
+                "churn": churn,
+                "straggler": straggler,
+                "hotspot_bytes": int(hotspot_bytes),
+                "available_fraction": float(available_fraction),
+                "pool": self.population.pool.stats(),
+                "wire_cast_error": max(
+                    dispatch_error, sync_result.max_cast_error
+                ),
+                "retries": sync_result.retries,
+                "dropped_messages": sync_result.dropped_messages,
+                "bypasses": len(sync_result.bypasses),
+                **({"sync_failed": True} if sync_failed else {}),
+            },
+        )
+        if evaluate:
+            loss, acc = population.evaluate_params(self._global_params)
+            record.test_loss = loss
+            record.test_accuracy = acc
+        return record
+
+
+__all__ = [
+    "ArenaBlock",
+    "ArenaPool",
+    "PopulationSpecs",
+    "PopulationTrainer",
+    "VirtualPopulation",
+]
