@@ -5,16 +5,18 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/run_bench.py [--quick]
 
 Runs :mod:`bench_hotpath`, :mod:`bench_parallel`, :mod:`bench_wire`,
-:mod:`bench_fleet` and :mod:`bench_population` and writes the artefacts:
+:mod:`bench_fleet`, :mod:`bench_population` and :mod:`bench_async` and
+writes the artefacts:
 
 * ``benchmarks/results/hotpath.json`` / ``results/parallel.json`` /
   ``results/wire.json`` / ``results/fleet.json`` /
-  ``results/population.json`` — raw measurements;
+  ``results/population.json`` / ``results/async.json`` — raw
+  measurements;
 * ``BENCH_hotpath.json`` / ``BENCH_parallel.json`` /
   ``BENCH_wire.json`` / ``BENCH_fleet.json`` /
-  ``BENCH_population.json`` at the repo root — the same numbers plus
-  run metadata, the files future PRs diff to track the perf
-  trajectory.
+  ``BENCH_population.json`` / ``BENCH_async.json`` at the repo root —
+  the same numbers plus run metadata, the files future PRs diff to
+  track the perf trajectory.
 
 ``--quick`` shrinks repeat counts for CI smoke runs (numbers are then
 noisy; only the bitwise-equality checks are meaningful).
@@ -37,6 +39,7 @@ for path in (str(SRC), str(REPO_ROOT / "benchmarks")):
 
 import numpy as np  # noqa: E402
 
+import bench_async  # noqa: E402
 import bench_fleet  # noqa: E402
 import bench_hotpath  # noqa: E402
 import bench_parallel  # noqa: E402
@@ -62,6 +65,7 @@ def main(quick: bool = False) -> dict:
     wire = bench_wire.main(quick=quick)
     fleet = bench_fleet.main(quick=quick)
     population = bench_population.main(quick=quick)
+    async_modes = bench_async.main(quick=quick)
     # Each bench persists its own artefact; the merged dict is only the
     # in-process return value.
     return {
@@ -70,6 +74,7 @@ def main(quick: bool = False) -> dict:
         "wire": wire,
         "fleet": fleet,
         "population": population,
+        "async": async_modes,
     }
 
 

@@ -39,6 +39,7 @@ KNOWN_KINDS = frozenset(
         "download",          # centralised baseline server -> device
         "inter_group_sync",  # grouped HADFL cross-group ring
         "intra_group_sync",  # grouped HADFL within-group ring
+        "async_upload",      # buffered-async population device -> server delta
     }
 )
 

@@ -11,6 +11,7 @@ from repro.metrics.records import RoundRecord, RunResult
 from repro.parallel.tasks import LocalTrainTask
 from repro.sim.cluster import SimulatedCluster
 from repro.sim.engine import Simulator
+from repro.sim.rounds import RoundEngine
 from repro.sim.trace import TraceRecorder
 
 
@@ -36,6 +37,11 @@ class SchemeTrainer:
         self.volume = CommVolumeAccountant()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.rng = np.random.default_rng(np.random.SeedSequence([seed, 0xBA5E]))
+        # Arrival-ordered scheduling: burst completions surface as events
+        # on the simulator, and the synchronous merge barrier is simply
+        # "collect every arrival" — the clock lands on the slowest
+        # completion, bitwise equal to the old max-elapsed arithmetic.
+        self.engine = RoundEngine(self.sim, cluster.executor)
         self._global_params = np.array(cluster.initial_params, copy=True)
         # Delta-shipping reference for sparsifying wire formats: the
         # model state every device shares (initially the common initial
@@ -78,8 +84,11 @@ class SchemeTrainer:
         """Run ``num_steps`` local steps on every device via the cluster's
         executor; returns bursts keyed by device id.  Bursts are
         independent until the merge barrier, so any backend may run them
-        concurrently — results are bitwise-identical to serial."""
-        return self.cluster.run_local_tasks(
+        concurrently — results are bitwise-identical to serial.  Each
+        completion is scheduled as an arrival event; the synchronous
+        barrier is ``self.engine.collect()`` (drain every arrival)."""
+        return self.engine.launch(
+            self.cluster,
             [
                 LocalTrainTask(
                     device_id=device.device_id,
@@ -87,7 +96,7 @@ class SchemeTrainer:
                     start_time=start_time,
                 )
                 for device in self.cluster.devices
-            ]
+            ],
         )
 
     # ------------------------------------------------------------------ #

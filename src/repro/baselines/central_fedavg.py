@@ -62,15 +62,14 @@ class CentralizedFedAvgTrainer(SchemeTrainer):
         m = cluster.model_nbytes
         k = len(devices)
 
-        # Local phase (Eq. 3): E steps each; barrier at the slowest.
+        # Local phase (Eq. 3): E steps each; the barrier closes when the
+        # last arrival event fires (the slowest device's completion).
         bursts = self.train_all_devices(self.local_steps, t_start)
         losses = []
-        slowest = 0.0
         for device in devices:
-            burst = bursts[device.device_id]
-            losses.extend(burst.losses)
-            slowest = max(slowest, burst.elapsed)
-        barrier = t_start + slowest
+            losses.extend(bursts[device.device_id].losses)
+        self.engine.collect()
+        barrier = self.sim.now
 
         # Upload: K sequential receptions serialise at the server — the
         # server only sees what survived the wire cast; then aggregation

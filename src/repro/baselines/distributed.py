@@ -39,11 +39,11 @@ class DistributedTrainer(SchemeTrainer):
         for _ in range(iterations):
             t_iter = self.sim.now
             bursts = self.train_all_devices(1, t_iter)
-            slowest = 0.0
             for device in devices:
-                burst = bursts[device.device_id]
-                slowest = max(slowest, burst.elapsed)
-                losses.append(burst.mean_loss)
+                losses.append(bursts[device.device_id].mean_loss)
+            # The iteration barrier: every arrival has fired; the clock
+            # sits on the slowest device's completion.
+            self.engine.collect()
             vectors = [d.get_params_view() for d in devices]
             # Every device holds the previous iteration's averaged model
             # exactly — the natural delta reference for sparsifying
@@ -58,7 +58,7 @@ class DistributedTrainer(SchemeTrainer):
             self.volume.record(t_iter, stats.total_bytes, "ring_allreduce")
             round_bytes += stats.total_bytes
             wire_cast_error = max(wire_cast_error, stats.max_cast_error)
-            self.sim.advance_to(t_iter + slowest + allreduce_time)
+            self.sim.advance_to(self.sim.now + allreduce_time)
 
         return RoundRecord(
             round_index=round_index,

@@ -53,15 +53,14 @@ class DecentralizedFedAvgTrainer(SchemeTrainer):
         t_start = self.sim.now
 
         # Local phase: E steps each, in parallel; the barrier closes when
-        # the slowest device finishes.
+        # the slowest device finishes — i.e. when the last arrival event
+        # has fired.
         bursts = self.train_all_devices(self.local_steps, t_start)
         losses = []
-        slowest = 0.0
         for device in devices:
-            burst = bursts[device.device_id]
-            losses.extend(burst.losses)
-            slowest = max(slowest, burst.elapsed)
-        barrier = t_start + slowest
+            losses.extend(bursts[device.device_id].losses)
+        self.engine.collect()
+        barrier = self.sim.now
 
         # Synchronous gossip merge over all K devices (ring schedule);
         # arena views — the ring copies into its node buffers on ingest,

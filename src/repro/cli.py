@@ -121,6 +121,29 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "aggregate keeps only running totals (bounded memory; byte "
         "totals identical)",
     )
+    parser.add_argument(
+        "--aggregation",
+        default="sync",
+        choices=("sync", "buffered_async", "semi_sync"),
+        help="federation mode of the round loop: sync = full-window "
+        "barrier (bitwise identical to the pre-event-driven trainer), "
+        "buffered_async = fold the first K arrivals with a "
+        "(1+staleness)^-a discount, semi_sync = deadline aggregation "
+        "folding partial work at the cut",
+    )
+    parser.add_argument(
+        "--async-buffer",
+        type=int,
+        default=None,
+        help="buffer size K of buffered_async (default: N_p)",
+    )
+    parser.add_argument(
+        "--staleness-exponent",
+        type=float,
+        default=0.5,
+        help="exponent a of the (1+staleness)^-a async discount "
+        "(0 = uniform mean)",
+    )
     chaos = parser.add_argument_group(
         "chaos", "fault injection (all off by default; fixed-seed "
         "deterministic via --chaos-seed)"
@@ -187,6 +210,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         executor_workers=args.workers,
         wire_dtype=args.wire_dtype,
         accounting=args.accounting,
+        aggregation=args.aggregation,
+        async_buffer=args.async_buffer,
+        staleness_exponent=args.staleness_exponent,
         failure_rate=args.failure_rate,
         mean_downtime=args.mean_downtime,
         slowdown_rate=args.slowdown_rate,
@@ -295,6 +321,10 @@ def _cmd_population(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         wire_dtype=args.wire_dtype,
         accounting=args.accounting,
+        aggregation=args.aggregation,
+        async_buffer=args.async_buffer,
+        local_steps=args.local_steps,
+        staleness_exponent=args.staleness_exponent,
         eval_every=args.eval_every,
         executor=args.executor,
         executor_workers=args.workers,
@@ -380,6 +410,25 @@ def build_parser() -> argparse.ArgumentParser:
     population.add_argument(
         "--accounting", default="aggregate", choices=("aggregate", "exact"),
         help="comm accountant mode (aggregate = bounded memory)",
+    )
+    population.add_argument(
+        "--aggregation", default="sync",
+        choices=("sync", "buffered_async", "semi_sync"),
+        help="federation mode: sync window barrier, buffered_async "
+        "first-K arrival folding, or semi_sync deadline aggregation",
+    )
+    population.add_argument(
+        "--async-buffer", type=int, default=None,
+        help="buffer size K of buffered_async (default: participants/2)",
+    )
+    population.add_argument(
+        "--local-steps", type=int, default=None,
+        help="per-dispatch step budget of the async/semi-sync modes "
+        "(default: round_window / base_step_time)",
+    )
+    population.add_argument(
+        "--staleness-exponent", type=float, default=0.5,
+        help="exponent a of the (1+staleness)^-a async discount",
     )
     population.add_argument("--model", default="mlp", help="model zoo name")
     population.add_argument("--train", type=int, default=800)

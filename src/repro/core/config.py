@@ -90,6 +90,27 @@ class HADFLParams:
         running per-kind/per-src/per-dst totals — same ``snapshot()``
         and invariant checks, bounded memory for long or
         population-scale runs.
+    aggregation:
+        Federation mode of the round loop:
+
+        * ``"sync"`` (default) — the classic full-window barrier; bitwise
+          identical to the pre-event-driven trainer on fixed seeds;
+        * ``"buffered_async"`` — FedBuff-style: each round folds the
+          first ``async_buffer`` burst *completions* in arrival order,
+          staleness-discounting each contribution by
+          ``(1 + τ)^(−staleness_exponent)``; stragglers keep computing
+          across round boundaries and fold when they arrive;
+        * ``"semi_sync"`` — deadline aggregation: devices run their
+          strategy step budgets, the round cuts at the earlier of the
+          window deadline and the last budget completion, and partial
+          work folds in at the cut.
+    async_buffer:
+        Buffer size K of ``"buffered_async"`` — how many completions an
+        aggregation waits for.  ``None`` (default) uses ``num_selected``.
+    staleness_exponent:
+        Exponent a of the staleness discount ``(1 + τ)^(−a)`` applied to
+        buffered-async contributions (τ = aggregation epochs behind).
+        ``0`` disables the discount (uniform mean).
     """
 
     tsync: int = 1
@@ -110,6 +131,9 @@ class HADFLParams:
     sync_failure_policy: str = "continue"
     max_round_rollbacks: int = 8
     accounting: str = "exact"
+    aggregation: str = "sync"
+    async_buffer: "int | None" = None
+    staleness_exponent: float = 0.5
 
     def __post_init__(self):
         if self.tsync < 1:
@@ -170,4 +194,20 @@ class HADFLParams:
             raise ValueError(
                 "accounting must be one of exact/aggregate, "
                 f"got {self.accounting!r}"
+            )
+        from repro.sim.rounds import AGGREGATION_MODES
+
+        if self.aggregation not in AGGREGATION_MODES:
+            raise ValueError(
+                f"aggregation must be one of {'/'.join(AGGREGATION_MODES)}, "
+                f"got {self.aggregation!r}"
+            )
+        if self.async_buffer is not None and self.async_buffer < 1:
+            raise ValueError(
+                f"async_buffer must be >= 1, got {self.async_buffer}"
+            )
+        if self.staleness_exponent < 0:
+            raise ValueError(
+                "staleness_exponent must be non-negative, "
+                f"got {self.staleness_exponent}"
             )

@@ -93,6 +93,11 @@ class Coordinator:
         self.rng = np.random.default_rng(np.random.SeedSequence([seed, 0xC00D]))
         self.strategy: Optional[TrainingStrategy] = None
         self._last_cumulative: Dict[int, float] = {}
+        # Staleness bookkeeping for the event-driven modes: the current
+        # aggregation epoch (one per produced aggregate) and the epoch at
+        # which each device's contribution last folded into an aggregate.
+        self._aggregation_epoch = 0
+        self._last_fold_epoch: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Liveness monitor
@@ -146,6 +151,42 @@ class Coordinator:
             previous = self._last_cumulative.get(device_id, 0.0)
             self.predictor.observe(device_id, float(version) - previous)
             self._last_cumulative[device_id] = float(version)
+
+    @property
+    def aggregation_epoch(self) -> int:
+        """How many aggregates the runtime supervisor has seen produced."""
+        return self._aggregation_epoch
+
+    def note_aggregation(self, folded: Sequence[int]) -> None:
+        """Record one produced aggregate and who folded into it.
+
+        Advances the aggregation epoch and stamps the folded devices as
+        current — the basis of the staleness discount in buffered-async
+        mixing and a freshness prior the selection's version estimates
+        already capture implicitly through observed step counts.
+        """
+        self._aggregation_epoch += 1
+        for device_id in folded:
+            self._last_fold_epoch[device_id] = self._aggregation_epoch
+
+    def staleness(self, device_ids: Sequence[int], base_epoch: Optional[Dict[int, int]] = None) -> Dict[int, int]:
+        """Aggregation epochs each device's pending contribution is behind.
+
+        A device that folded at epoch ``e`` trains against that epoch's
+        model, so when its next contribution arrives at the current epoch
+        ``E`` it is ``E − e`` aggregates stale.  ``base_epoch`` overrides
+        the recorded fold epoch per device (used when a dispatch, not a
+        fold, defined the model a burst started from).  Devices never
+        seen fold started from the initial dispatch (epoch 0).
+        """
+        out: Dict[int, int] = {}
+        for device_id in device_ids:
+            if base_epoch is not None and device_id in base_epoch:
+                base = base_epoch[device_id]
+            else:
+                base = self._last_fold_epoch.get(device_id, 0)
+            out[device_id] = max(0, self._aggregation_epoch - base)
+        return out
 
     def version_estimates(self, device_ids: Sequence[int]) -> Dict[int, float]:
         """Versions the selection uses: last observed cumulative version

@@ -38,6 +38,7 @@ from repro.sim.engine import Simulator
 from repro.sim.linkfaults import ReliableDelivery
 from repro.sim.network import align_network_granularity
 from repro.sim.executor import make_executor
+from repro.sim.rounds import RoundEngine, staleness_stats, staleness_weights
 from repro.sim.trace import TraceRecorder
 
 
@@ -110,6 +111,12 @@ class HADFLTrainer:
                 self.params.executor, self.params.executor_workers
             )
             self._owns_executor = True
+        # Arrival-ordered round scheduling: bursts still go through the
+        # executor in one batch, but completions surface as events on the
+        # shared simulator, in arrival order.
+        self.engine = RoundEngine(self.sim, self.executor)
+        # Semi-sync bookkeeping: unfinished step budget carried forward.
+        self._step_deficit: Dict[int, int] = {}
         self._global_params = np.array(cluster.initial_params, copy=True)
         # The delta-shipping reference for sparsifying wire formats: the
         # last aggregate every device saw (initially the shared initial
@@ -283,11 +290,125 @@ class HADFLTrainer:
         self._ref_epoch[device_id] = self._current_ref_epoch
 
     # ------------------------------------------------------------------ #
+    def _skipped_record(self, round_index: int) -> RoundRecord:
+        """Everyone was down: the round idled through its window."""
+        return RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=self.cluster.global_epoch(),
+            train_loss=float("nan"),
+            detail={
+                "skipped": True,
+                "retries": 0,
+                "dropped_messages": 0,
+                "bypasses": 0,
+                "resyncs": 0,
+            },
+        )
+
+    def _apply_aggregate(self, sync_result, receivers) -> Dict[str, float]:
+        """Install a produced aggregate: survivors adopt it, ``receivers``
+        get the non-blocking broadcast and integrate it, reference epochs
+        roll forward.  ``receivers`` must already exclude the fold set
+        (liveness is checked per delivery).  Returns the transfer
+        counters the caller folds into its round record."""
+        params = self.params
+        cluster = self.cluster
+        wire_cast_error = 0.0
+        retries = 0
+        dropped_messages = 0
+        resyncs = 0
+        self._consecutive_rollbacks = 0
+        self._global_params = sync_result.aggregated
+        next_ref_epoch = self._current_ref_epoch + 1
+        for device_id in sync_result.survivors:
+            cluster.device_by_id(device_id).set_params(sync_result.aggregated)
+            self._ref_epoch[device_id] = next_ref_epoch
+        # Non-blocking broadcast to the receivers (they integrate the
+        # aggregate with local parameters; the round's critical path is
+        # not extended).  The aggregate crosses the wire once per
+        # receiver; the cast payload is computed once.  Each delivery
+        # goes through the retry/backoff envelope: a receiver whose link
+        # gives up entirely keeps its stale reference and is re-synced
+        # on a later round.
+        broadcaster = (
+            sync_result.survivors[0] if sync_result.survivors else None
+        )
+        broadcast_payload = None
+        for receiver in receivers:
+            if not cluster.failures.is_alive(receiver, self.sim.now):
+                continue
+            # Revival re-sync, receiver side: a delta-shipped
+            # broadcast is undecodable against a stale reference, so
+            # the dense re-send happens before the mix.
+            if self._needs_resync(receiver):
+                self._resync_reference(receiver, src=broadcaster)
+                resyncs += 1
+            outcome = self.delivery.send(
+                broadcaster, receiver, self.model_nbytes, self.sim.now
+            )
+            retries += outcome.retries
+            dropped_messages += outcome.drops
+            self.volume.record(
+                self.sim.now,
+                outcome.bytes_sent,
+                "broadcast",
+                src=broadcaster,
+                dst=receiver,
+            )
+            if not outcome.delivered:
+                continue  # lost: no mix, reference goes stale below
+            if broadcast_payload is None:
+                broadcast_payload, err = self.wire.transmit_delta_with_error(
+                    sync_result.aggregated, self._wire_reference
+                )
+                wire_cast_error = max(wire_cast_error, err)
+            cluster.device_by_id(receiver).mix_params(
+                broadcast_payload,
+                own_weight=params.unselected_mix_weight,
+            )
+            self._ref_epoch[receiver] = next_ref_epoch
+        # The round's shared reference for the next delta-shipped
+        # sync: the broadcast reconstruction when one was delivered
+        # (what receivers decoded — survivors can reproduce it from the
+        # exact aggregate), else the aggregate itself.  Everyone not
+        # marked with the new epoch above is now stale and will be
+        # densely re-synced before its next delta exchange.
+        self._wire_reference = (
+            broadcast_payload
+            if broadcast_payload is not None
+            else sync_result.aggregated
+        )
+        self._current_ref_epoch = next_ref_epoch
+        self.coordinator.note_aggregation(sync_result.survivors)
+        return {
+            "wire_cast_error": wire_cast_error,
+            "retries": retries,
+            "dropped_messages": dropped_messages,
+            "resyncs": resyncs,
+        }
+
     def _run_round(
         self, round_index: int, strategy, eval_every: int
     ) -> RoundRecord:
+        if self.params.aggregation == "buffered_async":
+            return self._run_async_round(round_index, strategy, eval_every)
+        return self._run_window_round(round_index, strategy, eval_every)
+
+    def _run_window_round(
+        self, round_index: int, strategy, eval_every: int
+    ) -> RoundRecord:
+        """Sync and semi-sync rounds share the window shape.
+
+        ``sync`` keeps the classic full-window barrier (bitwise identical
+        to the pre-event-driven trainer); ``semi_sync`` clamps each burst
+        to its strategy step budget and cuts the round at the earlier of
+        the window deadline and the last budget completion, carrying
+        unfinished budgets forward as next-round deficits.
+        """
         params = self.params
         cluster = self.cluster
+        semi = params.aggregation == "semi_sync"
         t_start = self.sim.now
         deadline = t_start + strategy.sync_window
 
@@ -298,19 +419,7 @@ class HADFLTrainer:
         if not available:
             # Everyone is down: idle through the window and try again.
             self.sim.advance_to(deadline)
-            return RoundRecord(
-                round_index=round_index,
-                sim_time=self.sim.now,
-                global_epoch=cluster.global_epoch(),
-                train_loss=float("nan"),
-                detail={
-                    "skipped": True,
-                    "retries": 0,
-                    "dropped_messages": 0,
-                    "bypasses": 0,
-                    "resyncs": 0,
-                },
-            )
+            return self._skipped_record(round_index)
 
         # Selection happens *before* versions for this round are known —
         # the coordinator works from forecasts (or, in round 0, from the
@@ -338,13 +447,26 @@ class HADFLTrainer:
                 }
 
         # Step 5: heterogeneity-aware asynchronous local training.  The
-        # window deadline is the binding constraint (Alg. 1 line 6); the
-        # strategy's E_k budgets are the coordinator's *expectations* and
-        # feed the selection estimates, they do not clamp the devices —
-        # clamping to a forecast would let prediction error throttle real
-        # compute capacity.  Bursts are independent until the sync
-        # barrier, so the executor may run them concurrently.
-        bursts = self.executor.run_tasks(
+        # window deadline is the binding constraint (Alg. 1 line 6); in
+        # sync mode the strategy's E_k budgets are the coordinator's
+        # *expectations* and feed the selection estimates, they do not
+        # clamp the devices — clamping to a forecast would let prediction
+        # error throttle real compute capacity.  In semi-sync mode the
+        # budgets (plus any carried deficit) *are* the contract: a device
+        # that finishes early frees the round to cut early.  Bursts are
+        # independent until the fold, so the executor may run them
+        # concurrently; completions surface as arrival events.
+        budgets = None
+        if semi:
+            budgets = {
+                device_id: max(
+                    1,
+                    strategy.local_steps.get(device_id, 1)
+                    + self._step_deficit.get(device_id, 0),
+                )
+                for device_id in available
+            }
+        bursts = self.engine.launch(
             cluster,
             [
                 # A device that disconnects mid-window stops computing at
@@ -357,6 +479,7 @@ class HADFLTrainer:
                         cluster.failures.next_down_time(device_id, t_start),
                     ),
                     start_time=t_start,
+                    max_steps=None if budgets is None else budgets[device_id],
                 )
                 for device_id in available
             ],
@@ -375,10 +498,34 @@ class HADFLTrainer:
                 steps=burst.steps,
             )
 
-        # Step 6: fault-tolerant partial synchronisation at the deadline.
-        # Zero-copy arena views: the ring collective copies on ingest, and
-        # the views are consumed before any post-sync arena write.
-        self.sim.advance_to(deadline)
+        # Step 6: fault-tolerant partial synchronisation at the cut.  In
+        # sync mode the cut is the window deadline (arrival events are
+        # pure bookkeeping — the clock lands exactly on the deadline,
+        # bitwise identical to the old barrier).  In semi-sync the cut is
+        # the last arrival unless some alive device was clamped by the
+        # window itself, in which case the window was binding.
+        deadline_cut = False
+        if semi:
+            arrivals = self.engine.collect(count=len(available))
+            deadline_cut = any(
+                not arrival.completed
+                and cluster.failures.next_down_time(arrival.device_id, t_start)
+                >= deadline
+                for arrival in arrivals
+            )
+            if deadline_cut and deadline > self.sim.now:
+                self.sim.advance_to(deadline)
+            elif self.sim.now <= t_start:
+                # Every burst died before its first step: idle the window
+                # out rather than re-running a zero-duration round.
+                self.sim.advance_to(deadline)
+            for arrival in arrivals:
+                self._step_deficit[arrival.device_id] = max(
+                    0, budgets[arrival.device_id] - arrival.steps
+                )
+        else:
+            arrivals = self.engine.collect(deadline=deadline)
+        fold_staleness = self.coordinator.staleness(selected)
         resyncs = 0
         # Revival re-sync, sender side: a selected device whose delta
         # reference is stale (it was dead for a broadcast) gets a dense
@@ -412,70 +559,13 @@ class HADFLTrainer:
         sync_failed = sync_result.aggregated is None
 
         if sync_result.aggregated is not None:
-            self._consecutive_rollbacks = 0
-            self._global_params = sync_result.aggregated
-            next_ref_epoch = self._current_ref_epoch + 1
-            for device_id in sync_result.survivors:
-                cluster.device_by_id(device_id).set_params(sync_result.aggregated)
-                self._ref_epoch[device_id] = next_ref_epoch
-            # Non-blocking broadcast to unselected devices (they integrate
-            # the aggregate with local parameters; the round's critical
-            # path is not extended).  The aggregate crosses the wire once
-            # per receiver; the cast payload is computed once.  Each
-            # delivery goes through the retry/backoff envelope: a
-            # receiver whose link gives up entirely keeps its stale
-            # reference and is re-synced on a later round.
-            broadcaster = (
-                sync_result.survivors[0] if sync_result.survivors else None
+            counters = self._apply_aggregate(
+                sync_result, [d for d in available if d not in selected]
             )
-            unselected = [d for d in available if d not in selected]
-            broadcast_payload = None
-            for receiver in unselected:
-                if not cluster.failures.is_alive(receiver, self.sim.now):
-                    continue
-                # Revival re-sync, receiver side: a delta-shipped
-                # broadcast is undecodable against a stale reference, so
-                # the dense re-send happens before the mix.
-                if self._needs_resync(receiver):
-                    self._resync_reference(receiver, src=broadcaster)
-                    resyncs += 1
-                outcome = self.delivery.send(
-                    broadcaster, receiver, self.model_nbytes, self.sim.now
-                )
-                retries += outcome.retries
-                dropped_messages += outcome.drops
-                self.volume.record(
-                    self.sim.now,
-                    outcome.bytes_sent,
-                    "broadcast",
-                    src=broadcaster,
-                    dst=receiver,
-                )
-                if not outcome.delivered:
-                    continue  # lost: no mix, reference goes stale below
-                if broadcast_payload is None:
-                    broadcast_payload, err = self.wire.transmit_delta_with_error(
-                        sync_result.aggregated, self._wire_reference
-                    )
-                    wire_cast_error = max(wire_cast_error, err)
-                cluster.device_by_id(receiver).mix_params(
-                    broadcast_payload,
-                    own_weight=params.unselected_mix_weight,
-                )
-                self._ref_epoch[receiver] = next_ref_epoch
-            # The round's shared reference for the next delta-shipped
-            # sync: the broadcast reconstruction when one was delivered
-            # (what unselected receivers decoded — survivors can
-            # reproduce it from the exact aggregate), else the aggregate
-            # itself.  Everyone not marked with the new epoch above is
-            # now stale and will be densely re-synced before its next
-            # delta exchange.
-            self._wire_reference = (
-                broadcast_payload
-                if broadcast_payload is not None
-                else sync_result.aggregated
-            )
-            self._current_ref_epoch = next_ref_epoch
+            wire_cast_error = max(wire_cast_error, counters["wire_cast_error"])
+            retries += counters["retries"]
+            dropped_messages += counters["dropped_messages"]
+            resyncs += counters["resyncs"]
         elif selected:
             # Graceful degradation: the round's sync produced no
             # aggregate (every selected device died or became
@@ -560,6 +650,204 @@ class HADFLTrainer:
                 "dropped_messages": dropped_messages,
                 "bypasses": len(sync_result.bypasses),
                 "resyncs": resyncs,
+                "arrivals": len(arrivals),
+                "buffered": False,
+                "deadline_cut": deadline_cut,
+                **staleness_stats(fold_staleness.values()),
+                **({"sync_failed": True} if sync_failed else {}),
+            },
+        )
+        if round_index % max(1, eval_every) == 0:
+            loss, acc = cluster.evaluate_params(self._global_params)
+            record.test_loss = loss
+            record.test_accuracy = acc
+        return record
+
+    # ------------------------------------------------------------------ #
+    def _run_async_round(
+        self, round_index: int, strategy, eval_every: int
+    ) -> RoundRecord:
+        """Buffered-async (FedBuff-style) round.
+
+        Every idle available device is launched on its strategy step
+        budget E_k; the round cuts at the K-th burst *completion*
+        (K = ``async_buffer``, default ``num_selected``) and folds those
+        K contributions through the fault-tolerant ring with
+        staleness-discounted weights ``(1 + τ)^(−a)`` (τ = aggregation
+        epochs since the contribution's burst was dispatched).
+        Stragglers keep computing across the cut — their arrivals stay
+        queued on the simulator and fold into a later round's buffer.
+        Probability-based selection governs the window modes; here the
+        arrival order plus the staleness discount replace it.
+        """
+        params = self.params
+        cluster = self.cluster
+        t_start = self.sim.now
+        buffer_k = params.async_buffer or params.num_selected
+
+        available = self.coordinator.available_devices(
+            cluster.device_ids, t_start
+        )
+        idle = [d for d in available if not self.engine.is_in_flight(d)]
+        if not idle and not self.engine.in_flight:
+            # Everyone is down with nothing in flight: idle one window.
+            self.sim.advance_to(t_start + strategy.sync_window)
+            return self._skipped_record(round_index)
+
+        # Refill: every idle available device starts a burst from its own
+        # current parameters (decentralised — no dispatch payload).  The
+        # burst runs its full E_k budget even across round cuts, stopping
+        # early only if the device crashes.
+        if idle:
+            dispatch_epoch = self.coordinator.aggregation_epoch
+            self.engine.launch(
+                cluster,
+                [
+                    LocalTrainTask(
+                        device_id=device_id,
+                        deadline=cluster.failures.next_down_time(
+                            device_id, t_start
+                        ),
+                        start_time=t_start,
+                        max_steps=max(1, strategy.local_steps.get(device_id, 1)),
+                    )
+                    for device_id in idle
+                ],
+                meta={d: {"dispatch_epoch": dispatch_epoch} for d in idle},
+            )
+
+        bytes_before = self.volume.total_bytes
+        arrivals = self.engine.collect(count=buffer_k)
+        now = self.sim.now
+        losses = [loss for a in arrivals for loss in a.losses]
+        for arrival in arrivals:
+            self.trace.record(
+                arrival.time,
+                "local_training_done",
+                arrival.device_id,
+                steps=arrival.steps,
+            )
+
+        # The buffer: completed arrivals whose device is still alive at
+        # the cut.  Crash-truncated arrivals are observed (telemetry,
+        # version bookkeeping) but never folded.
+        completed = [
+            a
+            for a in arrivals
+            if a.completed and cluster.failures.is_alive(a.device_id, now)
+        ]
+        staleness_map = {
+            a.device_id: max(
+                0,
+                self.coordinator.aggregation_epoch
+                - int(a.meta.get("dispatch_epoch", 0)),
+            )
+            for a in completed
+        }
+        fold_ids = [a.device_id for a in completed]
+
+        wire_cast_error = 0.0
+        retries = 0
+        dropped_messages = 0
+        resyncs = 0
+        bypasses = 0
+        sync_failed = False
+        if fold_ids:
+            topology = self.coordinator.make_topology(fold_ids)
+            ring_order = (
+                topology.ring_order() if len(fold_ids) > 1 else list(fold_ids)
+            )
+            for device_id in fold_ids:
+                if self._needs_resync(device_id):
+                    self._resync_reference(device_id)
+                    resyncs += 1
+            # Staleness-discounted mixing through the uniform-mean ring:
+            # pre-scaling each contribution by n·w_i makes the ring's
+            # mean equal Σ w_i v_i.  Scaling copies the arena views, so
+            # the aliasing contract (views consumed before any post-sync
+            # arena write) holds by construction.  With uniform weights
+            # (all τ equal) the scale is exactly 1 — the plain ring.
+            weights = staleness_weights(
+                [staleness_map[d] for d in fold_ids],
+                params.staleness_exponent,
+            )
+            scale = len(fold_ids) * weights
+            vectors = {
+                device_id: scale[i]
+                * cluster.device_by_id(device_id).get_params_view()
+                for i, device_id in enumerate(fold_ids)
+            }
+            sync_result = self.sync.run(
+                self.sim,
+                ring_order,
+                vectors,
+                lambda d, t: cluster.failures.is_alive(d, t),
+                self.model_nbytes,
+                trace=self.trace,
+                reference=self._wire_reference,
+            )
+            self.volume.record(
+                self.sim.now, sync_result.bytes_sent, "partial_sync"
+            )
+            wire_cast_error = sync_result.max_cast_error
+            retries = sync_result.retries
+            dropped_messages = sync_result.dropped_messages
+            bypasses = len(sync_result.bypasses)
+            sync_failed = sync_result.aggregated is None
+            if sync_result.aggregated is not None:
+                # Broadcast only to idle devices: an in-flight device's
+                # parameters already embody its running burst — touching
+                # them would rewrite its simulated past.  It goes stale
+                # instead and the resync machinery recovers it later.
+                receivers = [
+                    d
+                    for d in cluster.device_ids
+                    if d not in staleness_map
+                    and not self.engine.is_in_flight(d)
+                ]
+                counters = self._apply_aggregate(sync_result, receivers)
+                wire_cast_error = max(
+                    wire_cast_error, counters["wire_cast_error"]
+                )
+                retries += counters["retries"]
+                dropped_messages += counters["dropped_messages"]
+                resyncs += counters["resyncs"]
+            # Async degradation is always "continue": the failed buffer's
+            # devices keep their local parameters and re-enter the pool.
+        else:
+            sync_failed = True
+
+        versions = {
+            a.device_id: cluster.device_by_id(a.device_id).version
+            for a in arrivals
+        }
+        self.coordinator.record_versions(versions)
+        self.coordinator.model_manager.backup(
+            round_index, self.sim.now, self._global_params
+        )
+
+        record = RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=cluster.global_epoch(),
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            selected=list(fold_ids),
+            versions=versions,
+            comm_bytes=self.volume.total_bytes - bytes_before,
+            bypasses=bypasses,
+            detail={
+                "wire_dtype": self.wire.name,
+                "wire_cast_error": wire_cast_error,
+                "retries": retries,
+                "dropped_messages": dropped_messages,
+                "bypasses": bypasses,
+                "resyncs": resyncs,
+                "arrivals": len(arrivals),
+                "buffered": True,
+                "deadline_cut": False,
+                "dropped_arrivals": len(arrivals) - len(completed),
+                "in_flight": len(self.engine.in_flight),
+                **staleness_stats(list(staleness_map.values())),
                 **({"sync_failed": True} if sync_failed else {}),
             },
         )

@@ -167,6 +167,16 @@ class ExperimentConfig:
     retry_base_timeout: float = 0.05
     retry_backoff: float = 2.0
     sync_failure_policy: str = "continue"
+
+    # Federation mode of the round loop: "sync" (full-window barrier,
+    # bitwise identical to the pre-event-driven trainer), "buffered_async"
+    # (FedBuff-style first-K arrival folding with staleness discount
+    # (1+τ)^(−staleness_exponent)) or "semi_sync" (deadline aggregation
+    # folding partial work at the cut).
+    aggregation: str = "sync"
+    async_buffer: Optional[int] = None
+    staleness_exponent: float = 0.5
+
     chaos_seed: int = 0
     chaos_horizon: Optional[float] = None
     """Virtual-time span the random fault schedule covers; ``None``
@@ -369,6 +379,9 @@ class ExperimentConfig:
             adapt_local_steps=self.adapt_local_steps,
             sync_failure_policy=self.sync_failure_policy,
             accounting=self.accounting,
+            aggregation=self.aggregation,
+            async_buffer=self.async_buffer,
+            staleness_exponent=self.staleness_exponent,
         )
 
     def describe(self) -> str:

@@ -96,6 +96,14 @@ class PopulationConfig:
     eval_every: int = 0
     executor: str = "serial"
     executor_workers: Optional[int] = None
+    # Federation mode: "sync" (full-window barrier), "buffered_async"
+    # (server-style FedBuff: persistent in-flight pool, first-K arrival
+    # folding with (1+τ)^(−staleness_exponent) discounting) or
+    # "semi_sync" (deadline aggregation with carried step deficits).
+    aggregation: str = "sync"
+    async_buffer: Optional[int] = None
+    local_steps: Optional[int] = None
+    staleness_exponent: float = 0.5
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -107,6 +115,21 @@ class PopulationConfig:
             )
         if self.shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        from repro.sim.rounds import AGGREGATION_MODES
+
+        if self.aggregation not in AGGREGATION_MODES:
+            raise ValueError(
+                f"aggregation must be one of {'/'.join(AGGREGATION_MODES)}, "
+                f"got {self.aggregation!r}"
+            )
+        if self.async_buffer is not None and self.async_buffer < 1:
+            raise ValueError(
+                f"async_buffer must be >= 1, got {self.async_buffer}"
+            )
+        if self.local_steps is not None and self.local_steps < 1:
+            raise ValueError(
+                f"local_steps must be >= 1, got {self.local_steps}"
+            )
 
     def with_overrides(self, **kwargs) -> "PopulationConfig":
         """A copy with fields replaced."""
@@ -183,6 +206,10 @@ def run_population(config: PopulationConfig) -> RunResult:
         executor=config.executor,
         executor_workers=config.executor_workers,
         accounting=config.accounting,
+        aggregation=config.aggregation,
+        async_buffer=config.async_buffer,
+        local_steps=config.local_steps,
+        staleness_exponent=config.staleness_exponent,
     )
     try:
         result = trainer.run(config.rounds, eval_every=config.eval_every)

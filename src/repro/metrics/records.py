@@ -91,26 +91,49 @@ class RunResult:
     def total_comm_bytes(self) -> int:
         return sum(r.comm_bytes for r in self.rounds)
 
-    def robustness_summary(self) -> Dict[str, int]:
+    def robustness_summary(self) -> Dict[str, Any]:
         """Run totals of the per-round robustness telemetry.
 
         Sums the ``detail`` counters the chaos layer records each round
         (``retries``, ``dropped_messages``, ``bypasses``, ``resyncs``,
         plus the number of failed syncs); rounds without the keys (older
-        results, baseline schemes) count zero.
+        results, baseline schemes) count zero.  The event-driven modes
+        add arrival/staleness telemetry: total arrivals observed,
+        buffered and deadline-cut round counts, arrivals dropped without
+        folding, and the worst per-round staleness seen.
         """
-        totals = {
+        totals: Dict[str, Any] = {
             "retries": 0,
             "dropped_messages": 0,
             "bypasses": 0,
             "resyncs": 0,
             "failed_syncs": 0,
+            "arrivals": 0,
+            "dropped_arrivals": 0,
+            "buffered_rounds": 0,
+            "deadline_cut_rounds": 0,
+            "max_staleness": 0.0,
         }
         for record in self.rounds:
-            for key in ("retries", "dropped_messages", "bypasses", "resyncs"):
+            for key in (
+                "retries",
+                "dropped_messages",
+                "bypasses",
+                "resyncs",
+                "arrivals",
+                "dropped_arrivals",
+            ):
                 totals[key] += int(record.detail.get(key, 0))
             if record.detail.get("sync_failed"):
                 totals["failed_syncs"] += 1
+            if record.detail.get("buffered"):
+                totals["buffered_rounds"] += 1
+            if record.detail.get("deadline_cut"):
+                totals["deadline_cut_rounds"] += 1
+            totals["max_staleness"] = max(
+                totals["max_staleness"],
+                float(record.detail.get("staleness_max", 0.0)),
+            )
         return totals
 
     def best_accuracy(self) -> float:

@@ -106,7 +106,14 @@ class Simulator:
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
+                # Cancelled events still count toward the safety valve:
+                # a runaway schedule-then-cancel loop must not dodge it.
+                if executed >= max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; runaway loop?"
+                    )
                 heapq.heappop(self._queue)
+                executed += 1
                 continue
             if until is not None and head.time > until:
                 self._now = until

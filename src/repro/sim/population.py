@@ -60,6 +60,12 @@ from repro.parallel.tasks import LocalTrainTask
 from repro.sim.device import Device, DeviceSpec
 from repro.sim.engine import Simulator
 from repro.sim.executor import LocalExecutor, make_executor
+from repro.sim.rounds import (
+    AGGREGATION_MODES,
+    RoundEngine,
+    staleness_stats,
+    staleness_weights,
+)
 from repro.sim.failures import (
     AlwaysAvailable,
     AvailabilityModel,
@@ -489,6 +495,22 @@ class PopulationTrainer:
         needs a full device list and is not supported for populations.
     accounting:
         Accountant mode; defaults to ``"aggregate"`` (bounded memory).
+    aggregation:
+        ``"sync"`` (default, the full-window barrier — bitwise identical
+        to the pre-event-driven trainer), ``"buffered_async"`` (FedBuff:
+        keep ``participants`` bursts in flight, fold the first
+        ``async_buffer`` completions with staleness-discounted weights)
+        or ``"semi_sync"`` (step-budgeted bursts, round cut at the
+        earlier of the window deadline and the last completion; deficits
+        carry forward through the ledger).
+    async_buffer:
+        Buffer size K of ``"buffered_async"``; default
+        ``max(1, participants // 2)``.
+    local_steps:
+        Per-burst step budget of the budgeted modes; default is the
+        number of steps the *fastest* power level fits in one window.
+    staleness_exponent:
+        Exponent a of the buffered-async discount ``(1 + τ)^(−a)``.
     """
 
     def __init__(
@@ -502,6 +524,10 @@ class PopulationTrainer:
         executor: Union[str, LocalExecutor] = "serial",
         executor_workers: Optional[int] = None,
         accounting: str = "aggregate",
+        aggregation: str = "sync",
+        async_buffer: Optional[int] = None,
+        local_steps: Optional[int] = None,
+        staleness_exponent: float = 0.5,
     ) -> None:
         if participants < 1:
             raise ValueError(f"participants must be >= 1, got {participants}")
@@ -513,6 +539,19 @@ class PopulationTrainer:
             raise ValueError(
                 "the process executor ships a full device list and is not "
                 "supported for virtual populations; use serial/thread/fleet"
+            )
+        if aggregation not in AGGREGATION_MODES:
+            raise ValueError(
+                f"aggregation must be one of {'/'.join(AGGREGATION_MODES)}, "
+                f"got {aggregation!r}"
+            )
+        if async_buffer is not None and async_buffer < 1:
+            raise ValueError(f"async_buffer must be >= 1, got {async_buffer}")
+        if local_steps is not None and local_steps < 1:
+            raise ValueError(f"local_steps must be >= 1, got {local_steps}")
+        if staleness_exponent < 0:
+            raise ValueError(
+                f"staleness_exponent must be non-negative, got {staleness_exponent}"
             )
         self.population = population
         self.participants = int(participants)
@@ -527,12 +566,36 @@ class PopulationTrainer:
         self.volume = CommVolumeAccountant(mode=accounting)
         self.sim = Simulator()
         self.executor = make_executor(executor, executor_workers)
+        self.engine = RoundEngine(self.sim, self.executor)
+        self.aggregation = aggregation
+        self.async_buffer = (
+            int(async_buffer)
+            if async_buffer is not None
+            else max(1, self.participants // 2)
+        )
+        self.staleness_exponent = float(staleness_exponent)
+        # Default step budget for the budgeted modes: what the fastest
+        # power level fits into one window.
+        if local_steps is not None:
+            self.local_steps = int(local_steps)
+        else:
+            fastest = population.specs.base_step_time
+            self.local_steps = max(1, int(self.round_window / fastest))
         self._rng = np.random.default_rng(
             np.random.SeedSequence([seed, 0x909])
         )
         self._global_params = np.array(population.initial_params, copy=True)
         self._samples_consumed = 0
         self._previous_participants: Optional[set] = None
+        # Buffered-async in-flight bookkeeping: the dispatch payload each
+        # running burst started from (its delta/staleness reference) and
+        # the aggregation epoch at dispatch time.
+        self._aggregation_epoch = 0
+        self._inflight_meta: Dict[int, dict] = {}
+        self._last_fold_epoch: Dict[int, int] = {}
+        # Semi-sync: unfinished step budgets carried to the next
+        # participation (the device state itself rides the ledger).
+        self._step_deficit: Dict[int, int] = {}
 
     def close(self) -> None:
         """Release executor workers (idempotent)."""
@@ -570,6 +633,7 @@ class PopulationTrainer:
                 "model_nbytes": self.model_nbytes,
                 "wire_dtype": self.wire.name,
                 "accounting_mode": self.volume.mode,
+                "aggregation": self.aggregation,
             },
         )
         for round_index in range(num_rounds):
@@ -579,6 +643,12 @@ class PopulationTrainer:
                 and round_index % eval_every == 0
             )
             result.append(self._run_round(round_index, evaluate))
+        if self._inflight_meta:
+            # Buffered-async teardown: stragglers still in flight release
+            # back through the ledger (their arrivals become inert).
+            self.engine.discard_in_flight(list(self._inflight_meta))
+            self._inflight_meta.clear()
+            population.release_all()
         if (
             result.rounds
             and population.test_set is not None
@@ -592,17 +662,36 @@ class PopulationTrainer:
         return result
 
     # ------------------------------------------------------------------ #
-    def _select(self, available: np.ndarray) -> np.ndarray:
+    def _select(
+        self, available: np.ndarray, count: Optional[int] = None
+    ) -> np.ndarray:
         """Eq. 8 over the availables' versions, Gumbel top-k draw."""
-        count = min(self.participants, int(available.size))
+        count = min(
+            self.participants if count is None else count, int(available.size)
+        )
         values = self.population.versions[available].astype(float)
         picked = sample_participants(
             values, count, self._rng, sigma=self.selection_sigma
         )
         return available[picked]
 
+    def _skipped_record(self, round_index: int, available_fraction: float = 0.0) -> RoundRecord:
+        return RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=self.global_epoch(),
+            train_loss=float("nan"),
+            detail={"skipped": True, "available_fraction": available_fraction},
+        )
+
     def _run_round(self, round_index: int, evaluate: bool) -> RoundRecord:
+        if self.aggregation == "buffered_async":
+            return self._run_async_round(round_index, evaluate)
+        return self._run_window_round(round_index, evaluate)
+
+    def _run_window_round(self, round_index: int, evaluate: bool) -> RoundRecord:
         population = self.population
+        semi = self.aggregation == "semi_sync"
         t_start = self.sim.now
 
         available = population.available_ids(t_start)
@@ -610,13 +699,7 @@ class PopulationTrainer:
         if available.size == 0:
             # Nobody reachable: idle through the window and try again.
             self.sim.advance_to(t_start + self.round_window)
-            return RoundRecord(
-                round_index=round_index,
-                sim_time=self.sim.now,
-                global_epoch=self.global_epoch(),
-                train_loss=float("nan"),
-                detail={"skipped": True, "available_fraction": 0.0},
-            )
+            return self._skipped_record(round_index)
 
         selected = self._select(available)
         participant_list = [int(d) for d in selected]
@@ -658,7 +741,15 @@ class PopulationTrainer:
         # its crash schedule takes it down.
         t_train = t_start + dispatch_time
         deadline = t_train + self.round_window
-        bursts = self.executor.run_tasks(
+        budgets: Optional[Dict[int, int]] = None
+        if semi:
+            budgets = {
+                device_id: max(
+                    1, self.local_steps + self._step_deficit.get(device_id, 0)
+                )
+                for device_id in participant_list
+            }
+        bursts = self.engine.launch(
             population,
             [
                 LocalTrainTask(
@@ -668,6 +759,7 @@ class PopulationTrainer:
                         population.failures.next_down_time(device_id, t_train),
                     ),
                     start_time=t_train,
+                    max_steps=None if budgets is None else budgets[device_id],
                 )
                 for device_id in participant_list
             ],
@@ -691,15 +783,47 @@ class PopulationTrainer:
             else {"p50": 0.0, "p90": 0.0, "p99": 0.0}
         )
 
-        # Ring sync among the participants at the deadline.  The
+        # Ring sync among the participants at the cut.  In sync mode the
+        # cut is the deadline (the arrival events are bookkeeping — the
+        # clock lands exactly on the deadline, bitwise identical to the
+        # old barrier); in semi-sync it is the last arrival unless an
+        # alive participant was clamped by the window itself.  The
         # dispatched payload is the cohort's shared delta reference —
         # every participant just received it.
-        self.sim.advance_to(deadline)
+        deadline_cut = False
+        if semi:
+            arrivals = self.engine.collect(count=len(participant_list))
+            deadline_cut = any(
+                not arrival.completed
+                and population.failures.next_down_time(arrival.device_id, t_train)
+                >= deadline
+                for arrival in arrivals
+            )
+            if deadline_cut and deadline > self.sim.now:
+                self.sim.advance_to(deadline)
+            elif self.sim.now < t_train:
+                # Every burst died before its first step: idle out the
+                # window rather than re-running a zero-duration round.
+                self.sim.advance_to(deadline)
+            for arrival in arrivals:
+                self._step_deficit[arrival.device_id] = max(
+                    0, budgets[arrival.device_id] - arrival.steps
+                )
+        else:
+            arrivals = self.engine.collect(deadline=deadline)
         ring_order = list(participant_list)
         if len(ring_order) > 1:
             self._rng.shuffle(ring_order)
         vectors = {
             device_id: devices[device_id].get_params_view()
+            for device_id in participant_list
+        }
+        fold_staleness = {
+            device_id: max(
+                0,
+                self._aggregation_epoch
+                - self._last_fold_epoch.get(device_id, 0),
+            )
             for device_id in participant_list
         }
         sync_result = self.sync.run(
@@ -714,6 +838,9 @@ class PopulationTrainer:
         sync_failed = sync_result.aggregated is None
         if not sync_failed:
             self._global_params = sync_result.aggregated
+            self._aggregation_epoch += 1
+            for device_id in sync_result.survivors:
+                self._last_fold_epoch[device_id] = self._aggregation_epoch
 
         # Hotspot: the largest received-bytes delta any participant saw
         # this round (dispatch plus any dst-tagged sync traffic).
@@ -751,6 +878,189 @@ class PopulationTrainer:
                 "retries": sync_result.retries,
                 "dropped_messages": sync_result.dropped_messages,
                 "bypasses": len(sync_result.bypasses),
+                "arrivals": len(arrivals),
+                "buffered": False,
+                "deadline_cut": deadline_cut,
+                **staleness_stats(fold_staleness.values()),
+                **({"sync_failed": True} if sync_failed else {}),
+            },
+        )
+        if evaluate:
+            loss, acc = population.evaluate_params(self._global_params)
+            record.test_loss = loss
+            record.test_accuracy = acc
+        return record
+
+    # ------------------------------------------------------------------ #
+    def _run_async_round(self, round_index: int, evaluate: bool) -> RoundRecord:
+        """Buffered-async (FedBuff-style) round over the population.
+
+        The trainer keeps up to ``participants`` bursts in flight: each
+        round refills the fleet from the available non-flying devices
+        (same Eq. 8 + Gumbel top-k draw over the version array),
+        dispatches the current global model to the newcomers, and cuts
+        at the first ``async_buffer`` burst *completions*.  Each folded
+        contribution uploads across the wire (delta against its own
+        dispatch payload — charged as ``"async_upload"``) and the
+        buffer aggregates with staleness-discounted weights
+        ``(1 + τ)^(−a)``, τ counted in aggregation epochs since the
+        contribution's dispatch — the population-scale staleness prior
+        the version array feeds through selection.  Stragglers keep
+        flying across the cut; crash-truncated arrivals release their
+        state to the ledger without folding.
+        """
+        population = self.population
+        t_start = self.sim.now
+        in_flight = sorted(self._inflight_meta)
+        refill = self.participants - len(in_flight)
+
+        available = population.available_ids(t_start)
+        available_fraction = available.size / population.size
+        if in_flight:
+            available = available[~np.isin(available, in_flight)]
+        new_ids: List[int] = []
+        dispatch_error = 0.0
+        if refill > 0 and available.size:
+            new_ids = [int(d) for d in self._select(available, count=refill)]
+        if not new_ids and not in_flight:
+            # Nobody reachable and nothing flying: idle one window.
+            self.sim.advance_to(t_start + self.round_window)
+            return self._skipped_record(round_index, float(available_fraction))
+
+        bytes_before = self.volume.total_bytes
+        dispatch_nbytes = 0
+        if new_ids:
+            payload, dispatch_error = self.wire.transmit_with_error(
+                self._global_params
+            )
+            dispatch_nbytes = self.wire.dense_nbytes(
+                int(self._global_params.size)
+            )
+            dispatch_time = self.network.sequential_sends_time(
+                self.model_nbytes, len(new_ids)
+            )
+            t_train = t_start + dispatch_time
+            for device_id in new_ids:
+                device = population.materialise(device_id)
+                device.set_params(payload)
+                self.volume.record(
+                    t_start, dispatch_nbytes, "participant_dispatch",
+                    dst=device_id,
+                )
+                self._inflight_meta[device_id] = {
+                    "payload": payload,
+                    "epoch": self._aggregation_epoch,
+                }
+            self.engine.launch(
+                population,
+                [
+                    LocalTrainTask(
+                        device_id=device_id,
+                        deadline=population.failures.next_down_time(
+                            device_id, t_train
+                        ),
+                        start_time=t_train,
+                        max_steps=self.local_steps,
+                    )
+                    for device_id in new_ids
+                ],
+            )
+
+        arrivals = self.engine.collect(count=self.async_buffer)
+        now = self.sim.now
+        losses = [loss for a in arrivals for loss in a.losses]
+        elapsed = [a.elapsed for a in arrivals]
+        for arrival in arrivals:
+            self._samples_consumed += arrival.steps * population.batch_size
+        straggler = (
+            {
+                "p50": float(np.percentile(elapsed, 50)),
+                "p90": float(np.percentile(elapsed, 90)),
+                "p99": float(np.percentile(elapsed, 99)),
+            }
+            if elapsed
+            else {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+        )
+
+        # The buffer: completed arrivals upload and fold.  A device that
+        # crashed *after* completing still folds — its upload left at
+        # completion time; crash-truncated bursts never upload.
+        completed = [a for a in arrivals if a.completed]
+        folded_ids: List[int] = []
+        uploads: List[np.ndarray] = []
+        taus: List[int] = []
+        wire_cast_error = dispatch_error
+        for arrival in completed:
+            meta = self._inflight_meta[arrival.device_id]
+            device = population.device_by_id(arrival.device_id)
+            recon, err = self.wire.transmit_delta_with_error(
+                device.get_params_view(), meta["payload"]
+            )
+            wire_cast_error = max(wire_cast_error, err)
+            self.volume.record(
+                now, self.model_nbytes, "async_upload", src=arrival.device_id
+            )
+            folded_ids.append(arrival.device_id)
+            uploads.append(recon)
+            taus.append(max(0, self._aggregation_epoch - meta["epoch"]))
+        sync_failed = not folded_ids
+        if folded_ids:
+            # The cut's closing upload is the only transfer still on the
+            # critical path — earlier uploads landed as they arrived.
+            self.sim.advance_to(
+                now + self.network.sequential_sends_time(self.model_nbytes, 1)
+            )
+            weights = staleness_weights(taus, self.staleness_exponent)
+            aggregate = np.zeros_like(self._global_params)
+            for weight, upload in zip(weights, uploads):
+                aggregate += weight * upload
+            self._global_params = aggregate
+            self._aggregation_epoch += 1
+            for device_id in folded_ids:
+                self._last_fold_epoch[device_id] = self._aggregation_epoch
+
+        fold_set = set(folded_ids)
+        if self._previous_participants is None:
+            churn = 1.0
+        elif fold_set:
+            churn = len(fold_set - self._previous_participants) / len(fold_set)
+        else:
+            churn = 0.0
+        if fold_set:
+            self._previous_participants = fold_set
+
+        versions: Dict[int, int] = {}
+        for arrival in arrivals:
+            versions[arrival.device_id] = population.device_by_id(
+                arrival.device_id
+            ).version
+            population.release(arrival.device_id)
+            self._inflight_meta.pop(arrival.device_id, None)
+
+        record = RoundRecord(
+            round_index=round_index,
+            sim_time=self.sim.now,
+            global_epoch=self.global_epoch(),
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            selected=list(folded_ids),
+            versions=versions,
+            comm_bytes=self.volume.total_bytes - bytes_before,
+            detail={
+                "churn": churn,
+                "straggler": straggler,
+                "hotspot_bytes": int(dispatch_nbytes),
+                "available_fraction": float(available_fraction),
+                "pool": self.population.pool.stats(),
+                "wire_cast_error": wire_cast_error,
+                "retries": 0,
+                "dropped_messages": 0,
+                "bypasses": 0,
+                "arrivals": len(arrivals),
+                "buffered": True,
+                "deadline_cut": False,
+                "dropped_arrivals": len(arrivals) - len(completed),
+                "in_flight": len(self._inflight_meta),
+                **staleness_stats(taus),
                 **({"sync_failed": True} if sync_failed else {}),
             },
         )
